@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs the full simulator, so each measurement is seconds
+long: we use pedantic single-round timing (the simulator is deterministic,
+so repeated rounds only measure Python jitter) and print the regenerated
+paper artifact so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+figure generator.
+"""
+
+import pytest
+
+#: benchmark problem sizes, scaled so the whole suite runs in minutes.
+UTS_NODES = 120
+IMPLICIT_TBS = 4
+IMPLICIT_WARPS = 8
+
+
+def run_once(benchmark, fn):
+    """Time one deterministic simulation run and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print a rendered artifact beneath the benchmark output."""
+
+    def _show(text):
+        print()
+        print(text)
+
+    return _show

@@ -1,0 +1,130 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Cycle attribution policy** -- the paper's "weak" Algorithm 2 vs the
+   strong inversion vs first-stalled-warp.  Timing is identical (the policy
+   is observational); what changes is where the cycles land, and weak
+   attribution is the one that surfaces memory structural stalls.
+2. **S-FIFO releases** (Section 6.1.4's QuickRelease-inspired suggestion) --
+   letting memory instructions issue past an in-flight release removes
+   pending-release stalls.
+3. **Write combining** -- disabling it inflates store-buffer pressure.
+4. **Warp scheduler** -- LRR vs GTO.
+"""
+
+from repro.core.stall_types import MemStructCause, StallType
+from repro.sim.config import Protocol, SystemConfig
+from repro.system import run_workload
+from repro.workloads.implicit import ImplicitScratchpad
+from repro.workloads.synthetic import StreamingWorkload
+from repro.workloads.uts import UtsdWorkload
+
+from benchmarks.conftest import run_once
+
+UTSD_ARGS = dict(total_nodes=80, payload_lines=3)
+
+
+class TestAttributionPolicy:
+    def test_attribution_policy_ablation(self, benchmark, show):
+        def run_all():
+            out = {}
+            for policy in ("weak", "strong", "first"):
+                cfg = SystemConfig(num_sms=4, attribution_policy=policy)
+                out[policy] = run_workload(cfg, UtsdWorkload(**UTSD_ARGS))
+            return out
+
+        results = run_once(benchmark, run_all)
+        lines = ["attribution policy ablation (UTSD, gpu coherence):"]
+        for policy, r in results.items():
+            bd = r.breakdown
+            lines.append(
+                "  %-6s sync=%6d  mem_data=%6d  mem_struct=%6d  (cycles=%d)"
+                % (
+                    policy,
+                    bd.counts[StallType.SYNC],
+                    bd.counts[StallType.MEM_DATA],
+                    bd.counts[StallType.MEM_STRUCT],
+                    r.cycles,
+                )
+            )
+        show("\n".join(lines))
+        # The policy is observational: timing identical across policies.
+        cycles = {r.cycles for r in results.values()}
+        assert len(cycles) == 1
+        # Weak attribution surfaces at least as many memory-structural
+        # stalls as the strong inversion (it prioritizes them).
+        assert (
+            results["weak"].breakdown.counts[StallType.MEM_STRUCT]
+            >= results["strong"].breakdown.counts[StallType.MEM_STRUCT]
+        )
+
+
+class TestSfifoRelease:
+    def test_sfifo_removes_pending_release_stalls(self, benchmark, show):
+        def run_pair():
+            base = run_workload(
+                SystemConfig(num_sms=4), UtsdWorkload(**UTSD_ARGS)
+            )
+            sfifo = run_workload(
+                SystemConfig(num_sms=4, sfifo_release=True),
+                UtsdWorkload(**UTSD_ARGS),
+            )
+            return base, sfifo
+
+        base, sfifo = run_once(benchmark, run_pair)
+        show(
+            "S-FIFO ablation: pending_release %d -> %d cycles, exec %d -> %d"
+            % (
+                base.breakdown.mem_struct[MemStructCause.PENDING_RELEASE],
+                sfifo.breakdown.mem_struct[MemStructCause.PENDING_RELEASE],
+                base.cycles,
+                sfifo.cycles,
+            )
+        )
+        assert sfifo.breakdown.mem_struct[MemStructCause.PENDING_RELEASE] == 0
+        assert base.breakdown.mem_struct[MemStructCause.PENDING_RELEASE] > 0
+        assert sfifo.cycles <= base.cycles
+
+
+class TestWriteCombining:
+    def test_disabling_combining_inflates_sb_pressure(self, benchmark, show):
+        def run_pair():
+            wl = ImplicitScratchpad(num_tbs=2, warps_per_tb=8)
+            with_wc = run_workload(SystemConfig(), wl)
+            without = run_workload(
+                SystemConfig(write_combining=False),
+                ImplicitScratchpad(num_tbs=2, warps_per_tb=8),
+            )
+            return with_wc, without
+
+        with_wc, without = run_once(benchmark, run_pair)
+        show(
+            "write combining ablation: SB-full stalls %d (on) vs %d (off)"
+            % (
+                with_wc.breakdown.mem_struct[MemStructCause.STORE_BUFFER_FULL],
+                without.breakdown.mem_struct[MemStructCause.STORE_BUFFER_FULL],
+            )
+        )
+        assert (
+            without.breakdown.mem_struct[MemStructCause.STORE_BUFFER_FULL]
+            >= with_wc.breakdown.mem_struct[MemStructCause.STORE_BUFFER_FULL]
+        )
+
+
+class TestWarpScheduler:
+    def test_lrr_vs_gto(self, benchmark, show):
+        def run_pair():
+            lrr = run_workload(
+                SystemConfig(num_sms=2, warp_scheduler="lrr"), StreamingWorkload()
+            )
+            gto = run_workload(
+                SystemConfig(num_sms=2, warp_scheduler="gto"), StreamingWorkload()
+            )
+            return lrr, gto
+
+        lrr, gto = run_once(benchmark, run_pair)
+        show(
+            "scheduler ablation: LRR %d cycles vs GTO %d cycles"
+            % (lrr.cycles, gto.cycles)
+        )
+        # Both must complete; relative merit is workload-dependent.
+        assert lrr.cycles > 0 and gto.cycles > 0

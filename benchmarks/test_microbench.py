@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+components the per-cycle loop leans on, so performance regressions in the
+infrastructure are visible independently of the figure benchmarks.
+"""
+
+import random
+
+from repro.core.classifier import classify_cycle_with_detail
+from repro.core.stall_types import StallType
+from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.mshr import Mshr
+from repro.mem.store_buffer import StoreBuffer
+from repro.noc.mesh import Mesh
+from repro.sim.engine import Engine
+
+
+def test_classify_cycle_throughput(benchmark):
+    rng = random.Random(1)
+    causes = [
+        [(rng.choice(list(StallType)), None) for _ in range(8)] for _ in range(256)
+    ]
+
+    def run():
+        for c in causes:
+            classify_cycle_with_detail(c)
+
+    benchmark(run)
+
+
+def test_cache_lookup_insert_throughput(benchmark):
+    cache = SetAssocCache(num_sets=64, assoc=8)
+    rng = random.Random(2)
+    lines = [rng.randrange(4096) for _ in range(2048)]
+
+    def run():
+        for line in lines:
+            if cache.lookup(line) is None:
+                cache.insert(line, LineState.VALID)
+
+    benchmark(run)
+
+
+def test_mshr_allocate_complete_throughput(benchmark):
+    mshr = Mshr(capacity=32)
+
+    def run():
+        for base in range(0, 512, 32):
+            for i in range(32):
+                mshr.allocate(base + i, req_id=i)
+            for i in range(32):
+                mshr.complete(base + i)
+
+    benchmark(run)
+
+
+def test_store_buffer_throughput(benchmark):
+    def run():
+        sb = StoreBuffer(capacity=32, issue_fn=lambda e: None)
+        pending = []
+        for i in range(512):
+            line = i % 48
+            if sb.can_accept(line):
+                sb.write(line)
+            e = sb.drain_one()
+            if e is not None:
+                pending.append(e)
+            if len(pending) > 16:
+                done = pending.pop(0)
+                sb.ack(done.line, seq=done.seq)
+
+    benchmark(run)
+
+
+def test_mesh_send_throughput(benchmark):
+    from repro.noc.message import Message, MsgType
+
+    def run():
+        engine = Engine()
+        mesh = Mesh(engine, 4, 4)
+        for n in range(16):
+            mesh.attach(n, lambda m: None)
+        rng = random.Random(3)
+        for _ in range(1024):
+            src, dst = rng.randrange(16), rng.randrange(16)
+            mesh.send(Message(mtype=MsgType.GETS, src=src, dst=dst, line=rng.randrange(64)))
+        engine.run()
+
+    benchmark(run)
+
+
+def test_event_engine_throughput(benchmark):
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def bump():
+            count[0] += 1
+
+        for d in range(5000):
+            engine.schedule(d % 97 + 1, bump)
+        engine.run()
+        assert count[0] == 5000
+
+    benchmark(run)

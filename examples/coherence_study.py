@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Case study 1 in miniature: DeNovo vs GPU coherence on UTS / UTSD.
+
+Reproduces the workflow of Section 6.1 end to end: run the unbalanced tree
+search benchmark under both coherence protocols, read the GSI breakdown,
+apply the software fix it motivates (decentralizing the task queue), and
+verify the fix with a second set of breakdowns.
+
+Run:  python examples/coherence_study.py  [--nodes N]
+"""
+
+import argparse
+
+from repro import Protocol, SystemConfig, run_workload
+from repro.core.report import (
+    format_mem_data_table,
+    format_mem_struct_table,
+    format_table,
+)
+from repro.core.stall_types import StallType
+from repro.workloads.uts import UtsWorkload, UtsdWorkload
+
+
+def run_both(wl_cls, nodes: int):
+    out = {}
+    for proto, label in [
+        (Protocol.GPU_COHERENCE, "gpu-coh"),
+        (Protocol.DENOVO, "denovo"),
+    ]:
+        wl = wl_cls(total_nodes=nodes)
+        out[label] = run_workload(SystemConfig(protocol=proto), wl)
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--nodes", type=int, default=80, help="tree size")
+    args = parser.parse_args()
+
+    print("== UTS: single global task queue (Section 6.1.3) ==")
+    uts = run_both(UtsWorkload, args.nodes)
+    print(format_table({k: r.breakdown for k, r in uts.items()}, baseline="gpu-coh"))
+    sync = uts["gpu-coh"].breakdown.fraction(StallType.SYNC)
+    print(
+        "GSI's verdict: %.0f%% of cycles are synchronization stalls -- the\n"
+        "global queue lock is the bottleneck, so the profitable fix is in\n"
+        "software: decentralize the queue.\n" % (100 * sync)
+    )
+
+    print("== UTSD: per-SM queues + global overflow (Section 6.1.4) ==")
+    utsd = run_both(UtsdWorkload, args.nodes)
+    print(format_table({k: r.breakdown for k, r in utsd.items()}, baseline="gpu-coh"))
+    for label in ("gpu-coh", "denovo"):
+        red = 1 - utsd[label].cycles / uts[label].cycles
+        print(
+            "  %s: UTSD is %.0f%% faster than UTS (paper: 91%%/94%%)"
+            % (label, 100 * red)
+        )
+
+    print()
+    print("== Why DeNovo wins on UTSD: the sub-breakdowns ==")
+    bd = {k: r.breakdown for k, r in utsd.items()}
+    print(format_mem_data_table(bd, baseline="gpu-coh"))
+    print(format_mem_struct_table(bd, baseline="gpu-coh"))
+    print(
+        "Ownership keeps queue data live across acquires (fewer L2-serviced\n"
+        "data stalls) and makes release flushes cheap (fewer pending-release\n"
+        "structural stalls)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Writing your own workload: a histogram kernel with privatization.
+
+Shows the full extension surface of the library:
+
+* warp programs as generators (data-dependent control flow through
+  ``returns_value`` instructions),
+* a custom :class:`~repro.workloads.base.Workload` with its own memory
+  layout and configuration,
+* using GSI to compare two algorithmic variants -- a shared global
+  histogram updated with atomics vs. per-SM private histograms merged at
+  the end (the classic privatization optimization).
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import StallType, SystemConfig, run_workload
+from repro.core.report import format_table
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import uniform_grid
+from repro.workloads.base import REGION_ARRAY, REGION_COUNTERS, Workload
+
+BINS = 16
+ITEMS_PER_WARP = 48
+
+
+class HistogramWorkload(Workload):
+    """Each warp classifies items and bumps a histogram bin per item."""
+
+    def __init__(self, privatized: bool, num_tbs: int = 8, warps_per_tb: int = 8):
+        self.privatized = privatized
+        self.name = "histogram-private" if privatized else "histogram-shared"
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+
+    def bin_addr(self, sm_id: int, b: int) -> int:
+        if self.privatized:
+            # One histogram per SM, each bin on its own line: atomics spread
+            # across L2 banks and never contend across SMs.
+            return REGION_COUNTERS + (sm_id * BINS + b) * 64
+        # Shared histogram laid out densely (16 bins x 4 B = one cache
+        # line): every atomic from every SM serializes at one L2 bank.
+        return REGION_COUNTERS + b * 4
+
+    def build(self, system):
+        cfg = system.config
+
+        def factory(tb: int, w: int):
+            base = REGION_ARRAY + (tb * self.warps_per_tb + w) * ITEMS_PER_WARP * 64
+
+            def program(ctx):
+                # Stream the input once up front (coalesced, non-blocking),
+                # then classify and bump a bin per item.  The classification
+                # reads functional memory through the context -- the warp
+                # program *is* the program, so data-dependent control flow
+                # is ordinary Python.
+                yield Instruction.load([base + i * 64 for i in range(4)], dst=1)
+                for i in range(ITEMS_PER_WARP):
+                    item = ctx.peek_word(base + i * 64)
+                    b = (item * 2654435761) % BINS        # classify
+                    yield Instruction.alu(dst=2, srcs=(1,))
+                    # Reduction atomic: fire-and-forget, so throughput is
+                    # bounded by the L2 bank, not the round trip.
+                    yield Instruction.atomic_add(
+                        self.bin_addr(ctx.sm_id, b), 1, returns_value=False, tag="bump"
+                    )
+                # privatized variant: merge this SM's bins into the global
+                # histogram once at the end (cheap: BINS atomics per warp).
+                if self.privatized and ctx.warp_index == 0:
+                    for b in range(BINS):
+                        yield Instruction.atomic_add(
+                            REGION_COUNTERS + 0x10_0000 + b * 64, 1, tag="merge"
+                        )
+
+            return program
+
+        # Seed the input items.
+        for tb in range(self.num_tbs):
+            for w in range(self.warps_per_tb):
+                base = REGION_ARRAY + (tb * self.warps_per_tb + w) * ITEMS_PER_WARP * 64
+                for i in range(ITEMS_PER_WARP):
+                    system.memory.store_word(base + i * 64, tb * 1000 + w * 100 + i)
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+
+def main() -> None:
+    cfg = SystemConfig(num_sms=8)
+    shared = run_workload(cfg, HistogramWorkload(privatized=False))
+    private = run_workload(cfg, HistogramWorkload(privatized=True))
+
+    print(
+        format_table(
+            {"shared": shared.breakdown, "privatized": private.breakdown},
+            baseline="shared",
+        )
+    )
+    speedup = shared.cycles / private.cycles
+    print("privatization speedup: %.2fx" % speedup)
+    print(
+        "\nGSI shows why: the shared histogram serializes atomics on hot L2\n"
+        "bins (memory data stalls on atomic round trips); privatization\n"
+        "spreads them across lines and SMs."
+    )
+    shared_md = shared.breakdown.counts[StallType.MEM_DATA]
+    private_md = private.breakdown.counts[StallType.MEM_DATA]
+    print("memory data stalls: shared=%d privatized=%d" % (shared_md, private_md))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper in one go.
+
+Thin wrapper over :mod:`repro.experiments.runner`; identical to
+``python -m repro.experiments`` but kept here so the examples directory
+demonstrates the whole public surface.
+
+Run:  python examples/regenerate_figures.py --fast
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

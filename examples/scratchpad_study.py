@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Case study 2 in miniature: scratchpad vs scratchpad+DMA vs stash.
+
+Reproduces the workflow of Section 6.2: run the implicit microbenchmark on
+the three local-memory organizations, read the GSI breakdowns, then use the
+MSHR-size sensitivity sweep (Section 6.2.4) that the full-MSHR stalls
+motivate.
+
+Run:  python examples/scratchpad_study.py
+"""
+
+from repro import SystemConfig, run_workload
+from repro.core.energy import compare_energy
+from repro.core.report import format_mem_struct_table, format_stacked_bars, format_table
+from repro.core.stall_types import MemStructCause, StallType
+from repro.workloads.implicit import implicit_variants
+
+
+def run_all(mshr: int = 32):
+    cfg = SystemConfig(mshr_entries=mshr, store_buffer_entries=mshr)
+    return {
+        name: run_workload(cfg, wl)
+        for name, wl in implicit_variants(num_tbs=4, warps_per_tb=8).items()
+    }
+
+
+def main() -> None:
+    print("== implicit microbenchmark, 32-entry MSHR (Figure 6.3) ==")
+    base = run_all(32)
+    bd = {k: r.breakdown for k, r in base.items()}
+    print(format_table(bd, baseline="scratchpad"))
+    print(format_mem_struct_table(bd, baseline="scratchpad"))
+    print(format_stacked_bars(bd, baseline="scratchpad"))
+
+    print(
+        "GSI's verdict: the DMA engine and the stash eliminate explicit\n"
+        "copy instructions (fewer no-stall cycles) but their higher request\n"
+        "rates hit the 32-entry MSHR -- full-MSHR structural stalls.  The\n"
+        "motivated hardware change: grow the MSHR.\n"
+    )
+
+    print("== MSHR sensitivity (Figure 6.4) ==")
+    print("%-16s %6s %10s %10s %10s %10s" % ("config", "mshr", "cycles", "mshr_full", "mem_data", "pend_dma"))
+    for mshr in (32, 64, 128, 256):
+        results = run_all(mshr)
+        for name, r in results.items():
+            print(
+                "%-16s %6d %10d %10d %10d %10d"
+                % (
+                    name,
+                    mshr,
+                    r.cycles,
+                    r.breakdown.mem_struct[MemStructCause.MSHR_FULL],
+                    r.breakdown.counts[StallType.MEM_DATA],
+                    r.breakdown.mem_struct[MemStructCause.PENDING_DMA],
+                )
+            )
+    print(
+        "\nLifting the MSHR bottleneck helps every configuration, but the\n"
+        "stalls move: the scratchpad's dependent copy stores become memory\n"
+        "data stalls, and the DMA's consumers pile up on pending-DMA stalls."
+    )
+
+    print("\n== energy view (activity-based accounting) ==")
+    print(compare_energy(base))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Windowed stall timelines: watching a kernel's phases.
+
+An AerialVision-inspired extension of GSI (Chapter 3 discusses
+AerialVision's per-interval plots): the same Algorithm-2 attribution,
+bucketed over time.  The implicit microbenchmark makes the phases obvious --
+DMA fill (memory structural), compute (no-stall), writeback tail.
+
+Run:  python examples/timeline_phases.py
+"""
+
+from repro import SystemConfig, run_workload
+from repro.core.timeline import render_timeline
+from repro.workloads.implicit import ImplicitDma, ImplicitScratchpad
+from repro.workloads.uts import UtsdWorkload
+
+
+def main() -> None:
+    window = 256
+
+    print("== implicit on scratchpad+DMA: fill / compute phases ==")
+    r = run_workload(
+        SystemConfig(timeline_window=window),
+        ImplicitDma(num_tbs=2, warps_per_tb=8),
+    )
+    print(render_timeline(r.timeline))
+
+    print("== implicit on the explicit scratchpad baseline ==")
+    r = run_workload(
+        SystemConfig(timeline_window=window),
+        ImplicitScratchpad(num_tbs=2, warps_per_tb=8),
+    )
+    print(render_timeline(r.timeline))
+
+    print("== UTSD: lock convoys over time (4 SMs) ==")
+    r = run_workload(
+        SystemConfig(num_sms=4, timeline_window=window),
+        UtsdWorkload(total_nodes=60, warps_per_tb=2),
+    )
+    print(render_timeline(r.timeline))
+    phases = r.timeline.dominant_series()
+    print("dominant cause per window:")
+    print("  " + " ".join(p.value[:4] for p in phases[:16]) + " ...")
+
+
+if __name__ == "__main__":
+    main()

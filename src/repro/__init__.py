@@ -1,0 +1,37 @@
+"""GSI: a GPU Stall Inspector for tightly coupled CPU-GPU systems.
+
+A from-scratch Python reproduction of the ISPASS 2016 paper "GSI: A GPU
+Stall Inspector to characterize the sources of memory stalls for tightly
+coupled GPUs" (Alsop, Sinclair, Adve): an integrated cycle-level CPU-GPU
+simulator (SMs, coherent memory hierarchy, 4x4 mesh, scratchpad/DMA/stash)
+with per-cycle stall attribution as the primary contribution.
+
+Quickstart::
+
+    from repro import SystemConfig, run_workload
+    from repro.workloads.uts import UtsWorkload
+
+    result = run_workload(SystemConfig(), UtsWorkload(total_nodes=100))
+    print(result.summary())
+"""
+
+from repro.core.breakdown import StallBreakdown
+from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
+from repro.sim.config import LocalMemory, Protocol, SystemConfig
+from repro.system import SimResult, System, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LocalMemory",
+    "MemStructCause",
+    "Protocol",
+    "ServiceLocation",
+    "SimResult",
+    "StallBreakdown",
+    "StallType",
+    "System",
+    "SystemConfig",
+    "run_workload",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: run any bundled workload under GSI.
+
+Examples::
+
+    python -m repro run uts --protocol denovo --nodes 100
+    python -m repro run implicit_stash --mshr 256
+    python -m repro run utsd --timeline 512 --energy
+    python -m repro list
+    python -m repro table51
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.core.energy import estimate_energy
+from repro.core.report import format_stacked_bars, format_table
+from repro.core.timeline import render_timeline
+from repro.sim.config import Protocol, SystemConfig
+from repro.system import run_workload
+
+
+def _uts(args):
+    from repro.workloads.uts import UtsWorkload
+
+    return UtsWorkload(total_nodes=args.nodes, warps_per_tb=args.warps)
+
+
+def _utsd(args):
+    from repro.workloads.uts import UtsdWorkload
+
+    return UtsdWorkload(total_nodes=args.nodes, warps_per_tb=args.warps)
+
+
+def _implicit(variant):
+    def make(args):
+        from repro.workloads.implicit import implicit_variants
+
+        return implicit_variants(warps_per_tb=args.warps or 8)[variant]
+
+    return make
+
+
+def _bfs(args):
+    from repro.workloads.graph import BfsWorkload
+
+    return BfsWorkload(num_vertices=args.nodes, warps_per_tb=args.warps)
+
+
+def _stencil(args):
+    from repro.workloads.stencil import StencilScratchpadWorkload
+
+    return StencilScratchpadWorkload(warps_per_tb=args.warps)
+
+
+def _reduction(args):
+    from repro.workloads.reduction import ReductionWorkload
+
+    return ReductionWorkload(warps_per_tb=args.warps)
+
+
+def _streaming(args):
+    from repro.workloads.synthetic import StreamingWorkload
+
+    return StreamingWorkload(warps_per_tb=args.warps)
+
+
+WORKLOADS: dict[str, Callable] = {
+    "uts": _uts,
+    "utsd": _utsd,
+    "implicit_scratchpad": _implicit("scratchpad"),
+    "implicit_dma": _implicit("scratchpad+dma"),
+    "implicit_stash": _implicit("stash"),
+    "bfs": _bfs,
+    "stencil": _stencil,
+    "reduction": _reduction,
+    "streaming": _streaming,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GSI: GPU Stall Inspector (ISPASS 2016 repro)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads")
+    sub.add_parser("table51", help="print Table 5.1 (system parameters)")
+
+    run = sub.add_parser("run", help="run one workload and print the breakdown")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--protocol", choices=["gpu", "denovo"], default="gpu")
+    run.add_argument("--sms", type=int, default=None, help="override SM count")
+    run.add_argument("--nodes", type=int, default=80, help="tree/graph size")
+    run.add_argument("--warps", type=int, default=2, help="warps per thread block")
+    run.add_argument("--mshr", type=int, default=32)
+    run.add_argument("--store-buffer", type=int, default=None)
+    run.add_argument("--scheduler", choices=["lrr", "gto"], default="lrr")
+    run.add_argument("--timeline", type=int, default=None, metavar="CYCLES",
+                     help="enable windowed timelines with this bucket size")
+    run.add_argument("--energy", action="store_true", help="print energy report")
+    run.add_argument("--per-sm", action="store_true", help="per-SM breakdowns")
+    run.add_argument("--seed", type=int, default=2016)
+    return parser
+
+
+def cmd_run(args) -> int:
+    config = SystemConfig(
+        protocol=Protocol.DENOVO if args.protocol == "denovo" else Protocol.GPU_COHERENCE,
+        mshr_entries=args.mshr,
+        store_buffer_entries=args.store_buffer or args.mshr,
+        warp_scheduler=args.scheduler,
+        timeline_window=args.timeline,
+        seed=args.seed,
+    )
+    if args.sms is not None:
+        config = config.scaled(num_sms=args.sms)
+    workload = WORKLOADS[args.workload](args)
+    result = run_workload(config, workload)
+    print(result.summary())
+    print("execution: %d cycles, %d instructions, IPC %.3f" % (
+        result.cycles, result.instructions, result.ipc))
+    print()
+    print(format_table({args.workload: result.breakdown}))
+    print(format_stacked_bars({args.workload: result.breakdown}))
+    if args.per_sm:
+        named = {"sm%d" % i: bd for i, bd in enumerate(result.per_sm)}
+        print(format_table(named, baseline="sm0", title="per-SM breakdown"))
+    if args.timeline:
+        print(render_timeline(result.timeline))
+    if args.energy:
+        print(estimate_energy(result).render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(WORKLOADS):
+            print(name)
+        return 0
+    if args.command == "table51":
+        from repro.experiments.figures import table51
+
+        print(table51())
+        return 0
+    return cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""GSI core: stall taxonomy, classification algorithms, attribution,
+breakdowns and reporting."""
+
+from repro.core.attribution import Inspector, SmAttribution
+from repro.core.energy import EnergyModel, EnergyReport, compare_energy, estimate_energy
+from repro.core.timeline import Timeline, render_timeline
+from repro.core.breakdown import StallBreakdown
+from repro.core.classifier import (
+    InstructionSnapshot,
+    classify_cycle,
+    classify_cycle_first,
+    classify_cycle_strong,
+    classify_cycle_with_detail,
+    classify_instruction,
+)
+from repro.core.stall_types import (
+    CYCLE_PRIORITY,
+    INSTRUCTION_PRIORITY,
+    MEM_DATA_ORDER,
+    MEM_STRUCT_ORDER,
+    MemStructCause,
+    ServiceLocation,
+    StallType,
+)
+
+__all__ = [
+    "CYCLE_PRIORITY",
+    "EnergyModel",
+    "EnergyReport",
+    "Timeline",
+    "compare_energy",
+    "estimate_energy",
+    "render_timeline",
+    "INSTRUCTION_PRIORITY",
+    "Inspector",
+    "InstructionSnapshot",
+    "MEM_DATA_ORDER",
+    "MEM_STRUCT_ORDER",
+    "MemStructCause",
+    "ServiceLocation",
+    "SmAttribution",
+    "StallBreakdown",
+    "StallType",
+    "classify_cycle",
+    "classify_cycle_first",
+    "classify_cycle_strong",
+    "classify_cycle_with_detail",
+    "classify_instruction",
+]

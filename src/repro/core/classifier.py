@@ -1,0 +1,135 @@
+"""Algorithms 1 and 2: instruction and issue-cycle stall classification.
+
+Section 4.2 describes a two-stage attribution:
+
+1. Each warp instruction considered by the issue stage gets a single
+   "strong" cause -- the one most strongly preventing issue (Algorithm 1).
+   The issue stage itself evaluates warps in this priority order, so the
+   per-warp causes it produces follow Algorithm 1 by construction;
+   :func:`classify_instruction` is the same decision expressed over an
+   explicit snapshot, used for testing and for external tooling.
+2. The cycle is then attributed to the *weakest* cause found among the
+   considered instructions (Algorithm 2) -- the cause of the instruction
+   closest to issuing, because removing it is most likely to help.  The
+   cycle priority is deliberately not an exact inversion: memory and
+   synchronization outrank compute in both directions because the tool
+   targets memory-system studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.stall_types import CYCLE_PRIORITY, StallType
+
+#: index for fast weakest-cause comparisons
+_CYCLE_RANK = {stall: i for i, stall in enumerate(CYCLE_PRIORITY)}
+
+
+@dataclass(frozen=True)
+class InstructionSnapshot:
+    """Explicit inputs to Algorithm 1 for one warp instruction."""
+
+    no_active_warp: bool = False
+    next_instruction_unavailable: bool = False
+    blocked_for_synchronization: bool = False
+    data_hazard_on_load: bool = False
+    structural_hazard_on_lsu: bool = False
+    data_hazard_on_compute: bool = False
+    structural_hazard_on_compute_unit: bool = False
+    can_issue: bool = True
+
+
+def classify_instruction(snap: InstructionSnapshot) -> StallType:
+    """Algorithm 1: strongest cause preventing this instruction's issue."""
+    if snap.no_active_warp:
+        return StallType.IDLE
+    if snap.next_instruction_unavailable:
+        return StallType.CONTROL
+    if snap.blocked_for_synchronization:
+        return StallType.SYNC
+    if snap.data_hazard_on_load:
+        return StallType.MEM_DATA
+    if snap.structural_hazard_on_lsu:
+        return StallType.MEM_STRUCT
+    if snap.data_hazard_on_compute:
+        return StallType.COMP_DATA
+    if snap.structural_hazard_on_compute_unit:
+        return StallType.COMP_STRUCT
+    if snap.can_issue:
+        return StallType.NO_STALL
+    raise ValueError("snapshot claims the instruction neither stalls nor issues")
+
+
+def classify_cycle(causes: Sequence[StallType]) -> StallType:
+    """Algorithm 2: attribute the cycle to the weakest cause found.
+
+    ``causes`` holds the Algorithm-1 classification of every warp
+    instruction considered this cycle.  An empty sequence means the SM had
+    no warps to consider, which is an idle cycle.
+    """
+    if not causes:
+        return StallType.IDLE
+    best = causes[0]
+    best_rank = _CYCLE_RANK[best]
+    for cause in causes:
+        rank = _CYCLE_RANK[cause]
+        if rank < best_rank:
+            best = cause
+            best_rank = rank
+            if best_rank == 0:  # NO_STALL: cannot do better
+                break
+    return best
+
+
+def classify_cycle_with_detail(
+    causes: Sequence[tuple[StallType, object]],
+) -> tuple[StallType, object]:
+    """Algorithm 2 plus the detail payload of the winning instruction.
+
+    The detail is what sub-classifies memory stalls: the access-group tag of
+    the blocking load (memory data) or the :class:`MemStructCause` of the
+    LSU rejection (memory structural).  The first instruction carrying the
+    winning cause supplies the detail, i.e. the instruction closest to
+    issuing.
+    """
+    if not causes:
+        return StallType.IDLE, None
+    best: tuple[StallType, object] = causes[0]
+    best_rank = _CYCLE_RANK[best[0]]
+    for item in causes:
+        rank = _CYCLE_RANK[item[0]]
+        if rank < best_rank:
+            best = item
+            best_rank = rank
+            if best_rank == 0:
+                break
+    return best
+
+
+# --- alternative attribution policies (ablation study) -----------------------
+
+def classify_cycle_strong(causes: Sequence[StallType]) -> StallType:
+    """Ablation: attribute the cycle to the *strongest* cause found
+    (the exact inversion the paper argues against)."""
+    from repro.core.stall_types import INSTRUCTION_PRIORITY
+
+    rank = {stall: i for i, stall in enumerate(INSTRUCTION_PRIORITY)}
+    if not causes:
+        return StallType.IDLE
+    real = [c for c in causes if c is not StallType.NO_STALL]
+    if not real:
+        return StallType.NO_STALL
+    return min(real, key=lambda c: rank[c])
+
+
+def classify_cycle_first(causes: Sequence[StallType]) -> StallType:
+    """Ablation: attribute the cycle to the first stalled warp in scheduler
+    order (no priority at all)."""
+    if not causes:
+        return StallType.IDLE
+    for cause in causes:
+        if cause is StallType.NO_STALL:
+            return StallType.NO_STALL
+    return causes[0]

@@ -1,0 +1,161 @@
+"""Activity-based energy and traffic accounting.
+
+The paper's introduction lists energy alongside execution time and network
+traffic as the metrics cycle-accurate simulators report; the stash/DeNovo
+papers it builds on argue their savings largely in energy.  This module
+derives both from the activity counters the simulator already keeps: each
+event class (ALU op, L1 access, L2 access, DRAM access, mesh hop, ...)
+costs a fixed energy, in the style of McPAT-fed accounting.
+
+The default per-event energies are round numbers of the right relative
+magnitude for a 28 nm-class node (register/ALU ~ O(1) pJ, SRAM access
+O(10) pJ, NoC hop O(10) pJ, DRAM access O(1000) pJ).  Absolute joules are
+not the point -- *relative* comparisons between configurations are, which
+is how the case studies use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in picojoules."""
+
+    alu_op: float = 1.0
+    sfu_op: float = 4.0
+    issue_op: float = 0.5
+    l1_access: float = 15.0
+    scratchpad_access: float = 6.0
+    mshr_op: float = 2.0
+    store_buffer_op: float = 2.0
+    l2_access: float = 60.0
+    directory_op: float = 10.0
+    mesh_hop: float = 12.0
+    dram_access: float = 1200.0
+    atomic_op: float = 80.0
+    static_per_cycle: float = 5.0   # leakage proxy, per SM per cycle
+
+
+@dataclass
+class EnergyReport:
+    """Energy by component (picojoules) plus traffic counters."""
+
+    components: dict[str, float] = field(default_factory=dict)
+    traffic_messages: int = 0
+    traffic_hops: int = 0
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_pj / 1000.0
+
+    def fraction(self, component: str) -> float:
+        total = self.total_pj
+        return self.components.get(component, 0.0) / total if total else 0.0
+
+    def rows(self) -> list[tuple[str, float]]:
+        return sorted(self.components.items(), key=lambda kv: -kv[1])
+
+    def render(self) -> str:
+        lines = ["energy by component (%.1f nJ total):" % self.total_nj]
+        for name, pj in self.rows():
+            lines.append(
+                "  %-14s %10.1f pJ  (%4.1f%%)"
+                % (name, pj, 100.0 * self.fraction(name))
+            )
+        lines.append(
+            "network traffic: %d messages, %d link-hops"
+            % (self.traffic_messages, self.traffic_hops)
+        )
+        return "\n".join(lines)
+
+
+def estimate_energy(
+    result: "SimResult", model: EnergyModel | None = None
+) -> EnergyReport:
+    """Derive an :class:`EnergyReport` from a finished run's statistics."""
+    model = model or EnergyModel()
+    stats = result.stats
+    report = EnergyReport()
+    comp = report.components
+
+    # core side ------------------------------------------------------------
+    comp["issue"] = model.issue_op * result.instructions
+    l1_total = {"hits": 0, "misses": 0, "stores": 0, "mshr": 0, "sb": 0}
+    for sm_stats in stats.get("l1", {}).values():
+        l1_total["hits"] += sm_stats.get("load_hits", 0)
+        l1_total["misses"] += sm_stats.get("load_misses", 0)
+        l1_total["stores"] += sm_stats.get("stores", 0)
+        l1_total["mshr"] += sm_stats.get("mshr_merges", 0)
+        l1_total["sb"] += sm_stats.get("sb_combines", 0)
+    comp["l1"] = model.l1_access * (
+        l1_total["hits"] + l1_total["misses"] + l1_total["stores"]
+    )
+    comp["mshr+sb"] = model.mshr_op * l1_total["mshr"] + model.store_buffer_op * (
+        l1_total["stores"] + l1_total["sb"]
+    )
+    scratch = stats.get("scratchpad", {})
+    comp["scratchpad"] = model.scratchpad_access * sum(
+        s.get("accesses", 0) for s in scratch.values()
+    )
+
+    # shared side ------------------------------------------------------------
+    l2 = stats.get("l2", {})
+    comp["l2"] = model.l2_access * (
+        l2.get("loads", 0) + l2.get("stores", 0)
+    ) + model.directory_op * (
+        l2.get("ownership_grants", 0) + l2.get("remote_forwards", 0)
+    )
+    comp["atomics"] = model.atomic_op * l2.get("atomics", 0)
+    comp["dram"] = model.dram_access * stats.get("dram", {}).get("accesses", 0)
+
+    # interconnect -------------------------------------------------------------
+    mesh = stats.get("mesh", {})
+    report.traffic_messages = int(mesh.get("messages", 0))
+    report.traffic_hops = int(
+        round(mesh.get("avg_hops", 0.0) * mesh.get("messages", 0))
+    )
+    comp["noc"] = model.mesh_hop * report.traffic_hops
+
+    # static -------------------------------------------------------------
+    comp["static"] = (
+        model.static_per_cycle * result.cycles * result.config.num_sms
+    )
+    return report
+
+
+def compare_energy(
+    results: Mapping[str, "SimResult"], model: EnergyModel | None = None
+) -> str:
+    """Side-by-side energy table for several configurations."""
+    reports = {name: estimate_energy(r, model) for name, r in results.items()}
+    names = list(reports)
+    lines = ["energy comparison (nJ):"]
+    header = "%-14s" % "component" + "".join("%14s" % n for n in names)
+    lines.append(header)
+    components = sorted(
+        {c for rep in reports.values() for c in rep.components},
+        key=lambda c: -max(rep.components.get(c, 0) for rep in reports.values()),
+    )
+    for c in components:
+        lines.append(
+            "%-14s" % c
+            + "".join(
+                "%14.2f" % (reports[n].components.get(c, 0.0) / 1000.0)
+                for n in names
+            )
+        )
+    lines.append(
+        "%-14s" % "TOTAL"
+        + "".join("%14.2f" % reports[n].total_nj for n in names)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Textual rendering of GSI stall breakdowns.
+
+The paper presents results as stacked-bar figures normalized to a baseline
+configuration (Figures 6.1-6.4, each with an execution-time breakdown, a
+memory-data sub-breakdown and a memory-structural sub-breakdown).  This
+module renders the same three views as aligned ASCII tables and horizontal
+stacked bars, plus CSV export for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+from repro.core.breakdown import StallBreakdown
+from repro.core.stall_types import (
+    MEM_DATA_ORDER,
+    MEM_STRUCT_ORDER,
+    StallType,
+)
+
+#: presentation order of top-level stall types (paper figure legends)
+STALL_ORDER: tuple[StallType, ...] = (
+    StallType.NO_STALL,
+    StallType.IDLE,
+    StallType.CONTROL,
+    StallType.SYNC,
+    StallType.MEM_DATA,
+    StallType.MEM_STRUCT,
+    StallType.COMP_DATA,
+    StallType.COMP_STRUCT,
+)
+
+_BAR_GLYPHS = {
+    StallType.NO_STALL: ".",
+    StallType.IDLE: " ",
+    StallType.CONTROL: "c",
+    StallType.SYNC: "S",
+    StallType.MEM_DATA: "D",
+    StallType.MEM_STRUCT: "M",
+    StallType.COMP_DATA: "d",
+    StallType.COMP_STRUCT: "m",
+}
+
+
+def format_table(
+    breakdowns: Mapping[str, StallBreakdown],
+    baseline: str | None = None,
+    title: str = "execution time breakdown",
+) -> str:
+    """Tabulate cycles per stall type, normalized to ``baseline``'s total."""
+    names = list(breakdowns)
+    if baseline is None:
+        baseline = names[0]
+    base = breakdowns[baseline]
+    out = io.StringIO()
+    out.write("%s (normalized to %s)\n" % (title, baseline))
+    header = "%-22s" % "stall type" + "".join("%14s" % n for n in names)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for stall in STALL_ORDER:
+        row = "%-22s" % stall.value
+        for n in names:
+            norm = breakdowns[n].normalized_to(base)[stall]
+            row += "%14.4f" % norm
+        out.write(row + "\n")
+    out.write("-" * len(header) + "\n")
+    row = "%-22s" % "total"
+    for n in names:
+        row += "%14.4f" % (breakdowns[n].total_cycles / base.total_cycles)
+    out.write(row + "\n")
+    return out.getvalue()
+
+
+def format_mem_data_table(
+    breakdowns: Mapping[str, StallBreakdown], baseline: str | None = None
+) -> str:
+    """Memory data stall sub-breakdown (Figure x.yb analogue)."""
+    names = list(breakdowns)
+    if baseline is None:
+        baseline = names[0]
+    base = breakdowns[baseline]
+    base_total = max(1, sum(base.mem_data.values()))
+    out = io.StringIO()
+    out.write("memory data stall breakdown (normalized to %s)\n" % baseline)
+    header = "%-22s" % "serviced at" + "".join("%14s" % n for n in names)
+    out.write(header + "\n" + "-" * len(header) + "\n")
+    for loc in MEM_DATA_ORDER:
+        row = "%-22s" % loc.value
+        for n in names:
+            row += "%14.4f" % (breakdowns[n].mem_data[loc] / base_total)
+        out.write(row + "\n")
+    return out.getvalue()
+
+
+def format_mem_struct_table(
+    breakdowns: Mapping[str, StallBreakdown], baseline: str | None = None
+) -> str:
+    """Memory structural stall sub-breakdown (Figure x.yc analogue)."""
+    names = list(breakdowns)
+    if baseline is None:
+        baseline = names[0]
+    base = breakdowns[baseline]
+    base_total = max(1, sum(base.mem_struct.values()))
+    out = io.StringIO()
+    out.write("memory structural stall breakdown (normalized to %s)\n" % baseline)
+    header = "%-22s" % "blocked by" + "".join("%14s" % n for n in names)
+    out.write(header + "\n" + "-" * len(header) + "\n")
+    for cause in MEM_STRUCT_ORDER:
+        row = "%-22s" % cause.value
+        for n in names:
+            row += "%14.4f" % (breakdowns[n].mem_struct[cause] / base_total)
+        out.write(row + "\n")
+    return out.getvalue()
+
+
+def format_stacked_bars(
+    breakdowns: Mapping[str, StallBreakdown],
+    baseline: str | None = None,
+    width: int = 60,
+) -> str:
+    """Horizontal stacked bars, one per configuration, scaled so the
+    baseline fills ``width`` characters (the paper's visual idiom)."""
+    names = list(breakdowns)
+    if baseline is None:
+        baseline = names[0]
+    base_total = breakdowns[baseline].total_cycles
+    out = io.StringIO()
+    label_w = max(len(n) for n in names) + 2
+    for n in names:
+        bd = breakdowns[n]
+        bar = []
+        for stall in STALL_ORDER:
+            frac = bd.counts[stall] / base_total if base_total else 0.0
+            bar.append(_BAR_GLYPHS[stall] * round(frac * width))
+        out.write("%-*s|%s\n" % (label_w, n, "".join(bar)))
+    legend = "  ".join(
+        "%s=%s" % (_BAR_GLYPHS[s], s.value) for s in STALL_ORDER if s is not StallType.IDLE
+    )
+    out.write("legend: %s\n" % legend)
+    return out.getvalue()
+
+
+def to_csv(breakdowns: Mapping[str, StallBreakdown]) -> str:
+    """CSV export: one row per (configuration, category)."""
+    out = io.StringIO()
+    out.write("config,category,cycles\n")
+    for name, bd in breakdowns.items():
+        for label, cycles in bd.rows():
+            out.write("%s,%s,%d\n" % (name, label, cycles))
+    return out.getvalue()
+
+
+def summarize(name: str, breakdown: StallBreakdown) -> str:
+    """One-line digest used by examples and logs."""
+    total = breakdown.total_cycles
+    top = max(STALL_ORDER, key=lambda s: breakdown.counts[s])
+    return "%s: %d cycles, dominant=%s (%.1f%%)" % (
+        name,
+        total,
+        top.value,
+        100.0 * breakdown.fraction(top),
+    )

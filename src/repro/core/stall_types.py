@@ -1,0 +1,107 @@
+"""Stall taxonomy of the GPU Stall Inspector.
+
+Chapter 4 of the paper defines eight top-level causes an issue cycle can be
+attributed to, plus two sub-taxonomies:
+
+* memory *data* stalls are sub-classified by where the blocking load was
+  serviced (Section 4.3), and
+* memory *structural* stalls are sub-classified by what blocked the
+  load/store unit (Section 4.4).
+
+These enums are shared by the whole simulator: the memory system labels
+responses with a :class:`ServiceLocation` and the LSU labels rejections with
+a :class:`MemStructCause`, so the attribution layer never has to guess.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StallType(enum.Enum):
+    """Top-level classification of an issue cycle (Section 4.1)."""
+
+    NO_STALL = "no_stall"
+    IDLE = "idle"
+    CONTROL = "control"
+    SYNC = "synchronization"
+    MEM_DATA = "memory_data"
+    MEM_STRUCT = "memory_structural"
+    COMP_DATA = "compute_data"
+    COMP_STRUCT = "compute_structural"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: "Strong" per-instruction priority of Algorithm 1: the first cause in this
+#: list that applies is the one most strongly preventing issue.
+INSTRUCTION_PRIORITY: tuple[StallType, ...] = (
+    StallType.IDLE,
+    StallType.CONTROL,
+    StallType.SYNC,
+    StallType.MEM_DATA,
+    StallType.MEM_STRUCT,
+    StallType.COMP_DATA,
+    StallType.COMP_STRUCT,
+    StallType.NO_STALL,
+)
+
+#: "Weak" per-cycle priority of Algorithm 2: among the per-instruction causes
+#: found in a cycle, the cycle is attributed to the earliest cause in this
+#: list.  Note it is *not* an exact inversion of Algorithm 1: memory and
+#: synchronization stalls outrank compute stalls in both directions because
+#: the tool targets memory-system studies.
+CYCLE_PRIORITY: tuple[StallType, ...] = (
+    StallType.NO_STALL,
+    StallType.MEM_STRUCT,
+    StallType.MEM_DATA,
+    StallType.SYNC,
+    StallType.COMP_STRUCT,
+    StallType.COMP_DATA,
+    StallType.CONTROL,
+    StallType.IDLE,
+)
+
+
+class ServiceLocation(enum.Enum):
+    """Where a load was serviced (memory data stall sub-classes, Sec. 4.3)."""
+
+    L1 = "l1"
+    L1_COALESCE = "l1_coalescing"
+    L2 = "l2"
+    REMOTE_L1 = "remote_l1"
+    MEMORY = "main_memory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MemStructCause(enum.Enum):
+    """Why the LSU rejected a ready memory instruction (Sec. 4.4)."""
+
+    MSHR_FULL = "mshr_full"
+    STORE_BUFFER_FULL = "store_buffer_full"
+    BANK_CONFLICT = "bank_conflict"
+    PENDING_RELEASE = "pending_release"
+    PENDING_DMA = "pending_dma"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+MEM_DATA_ORDER: tuple[ServiceLocation, ...] = (
+    ServiceLocation.L1,
+    ServiceLocation.L1_COALESCE,
+    ServiceLocation.L2,
+    ServiceLocation.REMOTE_L1,
+    ServiceLocation.MEMORY,
+)
+
+MEM_STRUCT_ORDER: tuple[MemStructCause, ...] = (
+    MemStructCause.MSHR_FULL,
+    MemStructCause.STORE_BUFFER_FULL,
+    MemStructCause.BANK_CONFLICT,
+    MemStructCause.PENDING_RELEASE,
+    MemStructCause.PENDING_DMA,
+)

@@ -1,0 +1,124 @@
+"""Windowed stall timelines (an AerialVision-style extension).
+
+The paper contrasts GSI with AerialVision, which plots per-interval
+statistics over time but lacks a comprehensive attribution.  This module
+combines the two ideas: the same Algorithm-2 cycle attribution, bucketed
+into fixed windows, so phase behaviour becomes visible (a DMA fill phase, a
+lock convoy forming, the writeback tail of a kernel).
+
+Enable by setting ``SystemConfig.timeline_window`` to a bucket size in
+cycles; each SM's attribution then also maintains a
+:class:`Timeline`, and :func:`render_timeline` draws an ASCII area chart.
+"""
+
+from __future__ import annotations
+
+from repro.core.breakdown import StallBreakdown
+from repro.core.stall_types import StallType
+
+#: drawing order and glyphs (shared with repro.core.report)
+_GLYPHS = {
+    StallType.NO_STALL: ".",
+    StallType.IDLE: " ",
+    StallType.CONTROL: "c",
+    StallType.SYNC: "S",
+    StallType.MEM_DATA: "D",
+    StallType.MEM_STRUCT: "M",
+    StallType.COMP_DATA: "d",
+    StallType.COMP_STRUCT: "m",
+}
+
+
+class Timeline:
+    """Per-window stall composition for one SM."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be at least one cycle")
+        self.window = window
+        self._buckets: dict[int, StallBreakdown] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, stall: StallType, start_cycle: int, n: int = 1) -> None:
+        """Attribute ``n`` consecutive cycles starting at ``start_cycle``.
+
+        Bulk records from sleeping SMs are split across the windows they
+        span, so the timeline is identical to per-cycle recording.
+        """
+        remaining = n
+        cycle = start_cycle
+        while remaining > 0:
+            idx = cycle // self.window
+            window_end = (idx + 1) * self.window
+            take = min(remaining, window_end - cycle)
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                bucket = self._buckets[idx] = StallBreakdown()
+            bucket.add(stall, take)
+            cycle += take
+            remaining -= take
+
+    # ------------------------------------------------------------------
+    @property
+    def num_windows(self) -> int:
+        return max(self._buckets) + 1 if self._buckets else 0
+
+    def bucket(self, idx: int) -> StallBreakdown:
+        return self._buckets.get(idx, StallBreakdown())
+
+    def buckets(self) -> list[StallBreakdown]:
+        return [self.bucket(i) for i in range(self.num_windows)]
+
+    def merge(self, other: "Timeline") -> "Timeline":
+        if other.window != self.window:
+            raise ValueError("cannot merge timelines with different windows")
+        out = Timeline(self.window)
+        for idx in set(self._buckets) | set(other._buckets):
+            merged = self.bucket(idx).merge(other.bucket(idx))
+            out._buckets[idx] = merged
+        return out
+
+    def total(self) -> StallBreakdown:
+        return StallBreakdown.merged(list(self._buckets.values()))
+
+    def dominant_series(self) -> list[StallType]:
+        """The dominant stall type per window (compact phase signature)."""
+        out = []
+        for bucket in self.buckets():
+            out.append(max(StallType, key=lambda s: bucket.counts[s]))
+        return out
+
+
+def render_timeline(timeline: Timeline, height: int = 8) -> str:
+    """ASCII area chart: one column per window, stacked by stall type.
+
+    Each column is ``height`` rows; a stall type occupies rows proportional
+    to its share of the window.  Time flows left to right.
+    """
+    buckets = timeline.buckets()
+    if not buckets:
+        return "(empty timeline)\n"
+    columns: list[str] = []
+    for bucket in buckets:
+        total = bucket.total_cycles
+        column = []
+        if total == 0:
+            column = [" "] * height
+        else:
+            for stall in _GLYPHS:
+                rows = round(height * bucket.counts[stall] / total)
+                column.extend(_GLYPHS[stall] * rows)
+            column = (column + [" "] * height)[:height]
+        columns.append("".join(column))
+    lines = []
+    for row in range(height):
+        # row 0 is the top of the chart
+        lines.append("".join(col[height - 1 - row] for col in columns))
+    axis = "-" * len(buckets)
+    legend = "  ".join("%s=%s" % (g, s.value) for s, g in _GLYPHS.items() if g != " ")
+    return (
+        "\n".join(lines)
+        + "\n"
+        + axis
+        + "\n(one column = %d cycles; %s)\n" % (timeline.window, legend)
+    )

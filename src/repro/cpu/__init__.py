@@ -1,0 +1,5 @@
+"""CPU side of the tightly coupled system."""
+
+from repro.cpu.core import CpuCore
+
+__all__ = ["CpuCore"]

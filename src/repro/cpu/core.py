@@ -1,0 +1,58 @@
+"""Minimal CPU core.
+
+The simulated system contains one CPU core (Table 5.1) that shares the
+unified address space through its own L1 (always DeNovo-coherent, per
+Section 6.1.1: "In both configurations studied, the CPU cache uses DeNovo
+coherence").  In the paper's case studies the CPU only launches kernels, so
+the model here is intentionally small: a node on the mesh with an L1 that
+can run simple event-driven load/store scripts (used by the integration
+tests to exercise CPU-GPU sharing) and a kernel-launch hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.stall_types import ServiceLocation
+from repro.mem.l1 import L1Controller
+
+
+class CpuCore:
+    """One CPU core attached to the mesh via its L1 controller."""
+
+    def __init__(self, cpu_id: int, node: int, l1: L1Controller) -> None:
+        self.cpu_id = cpu_id
+        self.node = node
+        self.l1 = l1
+        self.loads_done = 0
+        self.stores_done = 0
+
+    # ------------------------------------------------------------------
+    def load(
+        self, addr: int, on_done: Callable[[int, ServiceLocation], None] | None = None
+    ) -> None:
+        """Asynchronous load of one word."""
+        line = self.l1.config.line_of(addr)
+
+        def _done(loc: ServiceLocation, _rid: int) -> None:
+            self.loads_done += 1
+            if on_done is not None:
+                on_done(self.l1.memory.load_word(addr), loc)
+
+        self.l1.load_line(line, _done)
+
+    def store(self, addr: int, value: int) -> None:
+        """Asynchronous store of one word (functional at issue)."""
+        self.l1.memory.store_word(addr, value)
+        line = self.l1.config.line_of(addr)
+        if self.l1.can_accept_store(line):
+            self.l1.store_line(line)
+            self.stores_done += 1
+        else:
+            # Retry when the store buffer has room.
+            self.l1.engine.schedule(1, lambda: self.store(addr, value))
+
+    def launch_kernel_sync(self) -> None:
+        """Kernel launch acts as an acquire on the GPU side; on the CPU
+        side we flush so GPU threads observe CPU-prepared data."""
+        self.l1.flush_store_buffer(lambda: None)

@@ -1,0 +1,27 @@
+"""Experiment harness: one module per concern.
+
+* :mod:`repro.experiments.figures` -- one function per paper artifact.
+* :mod:`repro.experiments.runner` -- CLI to regenerate them.
+"""
+
+from repro.experiments.figures import (
+    Claim,
+    ExperimentResult,
+    fig61,
+    fig62,
+    fig63,
+    fig64,
+    overhead_experiment,
+    table51,
+)
+
+__all__ = [
+    "Claim",
+    "ExperimentResult",
+    "fig61",
+    "fig62",
+    "fig63",
+    "fig64",
+    "overhead_experiment",
+    "table51",
+]

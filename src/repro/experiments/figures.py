@@ -1,0 +1,469 @@
+"""One entry point per paper artifact (Tables and Figures, Chapters 5-6).
+
+Each ``fig*``/``table*`` function runs the full simulation stack for every
+configuration the figure compares and returns an :class:`ExperimentResult`
+carrying the GSI breakdowns, the rendered paper-style tables, and the
+*shape claims* -- the qualitative relationships the paper reports, evaluated
+against our measurements.  The benchmark harness (`benchmarks/`) and
+EXPERIMENTS.md are generated from these.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.breakdown import StallBreakdown
+from repro.core.report import (
+    format_mem_data_table,
+    format_mem_struct_table,
+    format_stacked_bars,
+    format_table,
+)
+from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
+from repro.sim.config import Protocol, SystemConfig
+from repro.system import SimResult, run_workload
+from repro.workloads.implicit import implicit_variants
+from repro.workloads.uts import UtsWorkload, UtsdWorkload
+
+
+@dataclass
+class Claim:
+    """One qualitative statement from the paper, checked against our run."""
+
+    text: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "OK " if self.holds else "DEV"
+        return "[%s] %s (paper: %s; measured: %s)" % (
+            mark,
+            self.text,
+            self.paper,
+            self.measured,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one paper artifact produced."""
+
+    experiment: str
+    results: dict[str, SimResult]
+    baseline: str
+    claims: list[Claim] = field(default_factory=list)
+
+    @property
+    def breakdowns(self) -> dict[str, StallBreakdown]:
+        return {k: r.breakdown for k, r in self.results.items()}
+
+    @property
+    def cycles(self) -> dict[str, int]:
+        return {k: r.cycles for k, r in self.results.items()}
+
+    def render(self) -> str:
+        parts = [
+            "=== %s ===" % self.experiment,
+            "cycles: "
+            + "  ".join("%s=%d" % (k, r.cycles) for k, r in self.results.items()),
+            "",
+            format_table(self.breakdowns, baseline=self.baseline),
+            format_mem_data_table(self.breakdowns, baseline=self.baseline),
+            format_mem_struct_table(self.breakdowns, baseline=self.baseline),
+            format_stacked_bars(self.breakdowns, baseline=self.baseline),
+            "shape claims:",
+        ]
+        parts += ["  %s" % c for c in self.claims]
+        return "\n".join(parts)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+
+def _pct(new: float, old: float) -> str:
+    if old == 0:
+        return "n/a"
+    return "%+.0f%%" % (100.0 * (new - old) / old)
+
+
+# ---------------------------------------------------------------------------
+# Table 5.1
+# ---------------------------------------------------------------------------
+
+def table51(config: SystemConfig | None = None) -> str:
+    """Render Table 5.1: parameters of the simulated heterogeneous system."""
+    config = config or SystemConfig()
+    rows = config.table51_rows()
+    width = max(len(k) for k, _ in rows) + 2
+    lines = ["Table 5.1: parameters of the simulated heterogeneous system"]
+    lines += ["  %-*s %s" % (width, k, v) for k, v in rows]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.1: UTS, GPU coherence vs DeNovo
+# ---------------------------------------------------------------------------
+
+def fig61(total_nodes: int = 150, warps_per_tb: int = 4) -> ExperimentResult:
+    """UTS stall breakdowns (execution / mem-data / mem-structural)."""
+    results: dict[str, SimResult] = {}
+    for proto, label in [
+        (Protocol.GPU_COHERENCE, "gpu-coh"),
+        (Protocol.DENOVO, "denovo"),
+    ]:
+        wl = UtsWorkload(total_nodes=total_nodes, warps_per_tb=warps_per_tb)
+        results[label] = run_workload(SystemConfig(protocol=proto), wl)
+
+    gpu, dn = results["gpu-coh"], results["denovo"]
+    sync_frac_gpu = gpu.breakdown.fraction(StallType.SYNC)
+    sync_frac_dn = dn.breakdown.fraction(StallType.SYNC)
+    remote_dn = dn.breakdown.mem_data[ServiceLocation.REMOTE_L1]
+    remote_gpu = gpu.breakdown.mem_data[ServiceLocation.REMOTE_L1]
+    rel_diff = abs(dn.cycles - gpu.cycles) / gpu.cycles
+    claims = [
+        Claim(
+            "synchronization stalls dominate UTS under both protocols",
+            "largest stall component",
+            "gpu %.0f%%, denovo %.0f%% of cycles" % (100 * sync_frac_gpu, 100 * sync_frac_dn),
+            sync_frac_gpu > 0.5 and sync_frac_dn > 0.5,
+        ),
+        Claim(
+            "very little overall performance difference between protocols",
+            "similar execution times",
+            "denovo/gpu = %.2f" % (dn.cycles / gpu.cycles),
+            rel_diff < 0.30,
+        ),
+        Claim(
+            "DeNovo shows remote-L1 memory data stalls (request redirection)",
+            "remote-L1 stalls present under DeNovo only",
+            "denovo %d cycles, gpu %d cycles" % (remote_dn, remote_gpu),
+            remote_dn > 0 and remote_gpu == 0,
+        ),
+    ]
+    return ExperimentResult("fig6.1-uts", results, "gpu-coh", claims)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.2: UTSD, GPU coherence vs DeNovo
+# ---------------------------------------------------------------------------
+
+def fig62(
+    total_nodes: int = 150,
+    warps_per_tb: int = 4,
+    include_uts_reference: bool = True,
+) -> ExperimentResult:
+    """UTSD stall breakdowns plus the UTS-vs-UTSD headline reductions."""
+    results: dict[str, SimResult] = {}
+    uts_cycles: dict[str, int] = {}
+    for proto, label in [
+        (Protocol.GPU_COHERENCE, "gpu-coh"),
+        (Protocol.DENOVO, "denovo"),
+    ]:
+        wl = UtsdWorkload(total_nodes=total_nodes, warps_per_tb=warps_per_tb)
+        results[label] = run_workload(SystemConfig(protocol=proto), wl)
+        if include_uts_reference:
+            ref = UtsWorkload(total_nodes=total_nodes, warps_per_tb=warps_per_tb)
+            uts_cycles[label] = run_workload(SystemConfig(protocol=proto), ref).cycles
+
+    gpu, dn = results["gpu-coh"], results["denovo"]
+    claims = [
+        Claim(
+            "DeNovo reduces UTSD execution time vs GPU coherence",
+            "-28%",
+            _pct(dn.cycles, gpu.cycles),
+            dn.cycles < gpu.cycles,
+        ),
+        Claim(
+            "DeNovo reduces memory structural stalls",
+            "-71%",
+            _pct(
+                dn.breakdown.counts[StallType.MEM_STRUCT],
+                max(1, gpu.breakdown.counts[StallType.MEM_STRUCT]),
+            ),
+            dn.breakdown.counts[StallType.MEM_STRUCT]
+            < gpu.breakdown.counts[StallType.MEM_STRUCT],
+        ),
+        Claim(
+            "DeNovo reduces memory data stalls",
+            "-57%",
+            _pct(
+                dn.breakdown.counts[StallType.MEM_DATA],
+                max(1, gpu.breakdown.counts[StallType.MEM_DATA]),
+            ),
+            dn.breakdown.counts[StallType.MEM_DATA]
+            < gpu.breakdown.counts[StallType.MEM_DATA],
+        ),
+        Claim(
+            "memory data stall reduction comes from the L2 component",
+            "L2-serviced stalls drop; L1/main-memory components similar",
+            "L2: %d -> %d"
+            % (
+                gpu.breakdown.mem_data[ServiceLocation.L2],
+                dn.breakdown.mem_data[ServiceLocation.L2],
+            ),
+            dn.breakdown.mem_data[ServiceLocation.L2]
+            < gpu.breakdown.mem_data[ServiceLocation.L2],
+        ),
+        Claim(
+            "pending-release structural stalls drop under DeNovo",
+            "10% of exec (gpu) vs 4% (denovo)",
+            "%d vs %d cycles"
+            % (
+                gpu.breakdown.mem_struct[MemStructCause.PENDING_RELEASE],
+                dn.breakdown.mem_struct[MemStructCause.PENDING_RELEASE],
+            ),
+            dn.breakdown.mem_struct[MemStructCause.PENDING_RELEASE]
+            < gpu.breakdown.mem_struct[MemStructCause.PENDING_RELEASE],
+        ),
+        Claim(
+            "remote-L1 data stalls virtually disappear relative to UTS",
+            "locality removes redirection",
+            "%.1f%% of DeNovo data stalls"
+            % (
+                100.0
+                * dn.breakdown.mem_data[ServiceLocation.REMOTE_L1]
+                / max(1, sum(dn.breakdown.mem_data.values()))
+            ),
+            dn.breakdown.mem_data[ServiceLocation.REMOTE_L1]
+            < 0.35 * max(1, sum(dn.breakdown.mem_data.values())),
+        ),
+    ]
+    if include_uts_reference:
+        for label, paper in [("gpu-coh", "-91%"), ("denovo", "-94%")]:
+            claims.append(
+                Claim(
+                    "UTSD cuts execution time vs UTS (%s)" % label,
+                    paper,
+                    _pct(results[label].cycles, uts_cycles[label]),
+                    results[label].cycles < 0.25 * uts_cycles[label],
+                )
+            )
+    return ExperimentResult("fig6.2-utsd", results, "gpu-coh", claims)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.3: implicit microbenchmark across local-memory organizations
+# ---------------------------------------------------------------------------
+
+def fig63(num_tbs: int = 4, warps_per_tb: int = 8) -> ExperimentResult:
+    """implicit: scratchpad vs scratchpad+DMA vs stash."""
+    results: dict[str, SimResult] = {}
+    for name, wl in implicit_variants(num_tbs=num_tbs, warps_per_tb=warps_per_tb).items():
+        results[name] = run_workload(SystemConfig(), wl)
+
+    base = results["scratchpad"]
+    dma = results["scratchpad+dma"]
+    stash = results["stash"]
+    base_total = base.breakdown.total_cycles
+
+    def nostall_drop(r: SimResult) -> float:
+        return (
+            r.breakdown.counts[StallType.NO_STALL]
+            - base.breakdown.counts[StallType.NO_STALL]
+        ) / base_total
+
+    claims = [
+        Claim(
+            "scratchpad+DMA reduces no-stall cycles",
+            "-36% (of baseline cycles)",
+            "%+.0f%%" % (100 * nostall_drop(dma)),
+            nostall_drop(dma) < -0.10,
+        ),
+        Claim(
+            "stash reduces no-stall cycles",
+            "-31% (of baseline cycles)",
+            "%+.0f%%" % (100 * nostall_drop(stash)),
+            nostall_drop(stash) < -0.10,
+        ),
+        Claim(
+            "scratchpad+DMA increases memory structural stalls",
+            "+67%",
+            _pct(
+                dma.breakdown.counts[StallType.MEM_STRUCT],
+                base.breakdown.counts[StallType.MEM_STRUCT],
+            ),
+            dma.breakdown.counts[StallType.MEM_STRUCT]
+            > base.breakdown.counts[StallType.MEM_STRUCT],
+        ),
+        Claim(
+            "DMA's structural-stall increase exceeds stash's",
+            "+67% vs +34%",
+            "%d vs %d cycles"
+            % (
+                dma.breakdown.counts[StallType.MEM_STRUCT],
+                stash.breakdown.counts[StallType.MEM_STRUCT],
+            ),
+            dma.breakdown.counts[StallType.MEM_STRUCT]
+            > stash.breakdown.counts[StallType.MEM_STRUCT],
+        ),
+        Claim(
+            "both innovations improve overall execution time",
+            "faster than scratchpad",
+            "dma %.2fx, stash %.2fx"
+            % (dma.cycles / base.cycles, stash.cycles / base.cycles),
+            dma.cycles < base.cycles and stash.cycles < base.cycles,
+        ),
+        Claim(
+            "bank conflicts are insignificant for scratchpad+DMA",
+            "DMA requests bypass the pipeline",
+            "%d vs %d (baseline) conflict stalls"
+            % (
+                dma.breakdown.mem_struct[MemStructCause.BANK_CONFLICT],
+                base.breakdown.mem_struct[MemStructCause.BANK_CONFLICT],
+            ),
+            dma.breakdown.mem_struct[MemStructCause.BANK_CONFLICT]
+            < base.breakdown.mem_struct[MemStructCause.BANK_CONFLICT],
+        ),
+        Claim(
+            "pending-DMA stalls appear only under scratchpad+DMA",
+            "unique to the DMA configuration",
+            "%d cycles" % dma.breakdown.mem_struct[MemStructCause.PENDING_DMA],
+            dma.breakdown.mem_struct[MemStructCause.PENDING_DMA] > 0
+            and base.breakdown.mem_struct[MemStructCause.PENDING_DMA] == 0
+            and stash.breakdown.mem_struct[MemStructCause.PENDING_DMA] == 0,
+        ),
+    ]
+    return ExperimentResult("fig6.3-implicit", results, "scratchpad", claims)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.4: MSHR size sensitivity
+# ---------------------------------------------------------------------------
+
+def fig64(
+    mshr_sizes: tuple[int, ...] = (32, 64, 128, 256),
+    num_tbs: int = 4,
+    warps_per_tb: int = 8,
+) -> dict[int, ExperimentResult]:
+    """implicit with MSHR size swept 32..256 (store buffer scaled along,
+    as in the paper)."""
+    out: dict[int, ExperimentResult] = {}
+    for size in mshr_sizes:
+        results: dict[str, SimResult] = {}
+        for name, wl in implicit_variants(
+            num_tbs=num_tbs, warps_per_tb=warps_per_tb
+        ).items():
+            cfg = SystemConfig(mshr_entries=size, store_buffer_entries=size)
+            results[name] = run_workload(cfg, wl)
+        out[size] = ExperimentResult(
+            "fig6.4-mshr-%d" % size, results, "scratchpad", []
+        )
+    smallest, largest = min(mshr_sizes), max(mshr_sizes)
+    lo, hi = out[smallest], out[largest]
+    claims = []
+    for name in ("scratchpad", "scratchpad+dma", "stash"):
+        claims.append(
+            Claim(
+                "%s improves (or holds) with a larger MSHR" % name,
+                "all configurations benefit",
+                "%d -> %d cycles" % (lo.results[name].cycles, hi.results[name].cycles),
+                hi.results[name].cycles <= 1.05 * lo.results[name].cycles,
+            )
+        )
+        claims.append(
+            Claim(
+                "%s: full-MSHR stalls are eliminated at %d entries" % (name, largest),
+                "decrease in full MSHR stalls",
+                "%d -> %d cycles"
+                % (
+                    lo.results[name].breakdown.mem_struct[MemStructCause.MSHR_FULL],
+                    hi.results[name].breakdown.mem_struct[MemStructCause.MSHR_FULL],
+                ),
+                hi.results[name].breakdown.mem_struct[MemStructCause.MSHR_FULL]
+                < 0.25
+                * max(
+                    1,
+                    lo.results[name].breakdown.mem_struct[MemStructCause.MSHR_FULL],
+                ),
+            )
+        )
+    claims.append(
+        Claim(
+            "scratchpad memory data stalls rise with MSHR size",
+            "13x at 256 entries",
+            "%d -> %d cycles"
+            % (
+                lo.results["scratchpad"].breakdown.counts[StallType.MEM_DATA],
+                hi.results["scratchpad"].breakdown.counts[StallType.MEM_DATA],
+            ),
+            hi.results["scratchpad"].breakdown.counts[StallType.MEM_DATA]
+            > lo.results["scratchpad"].breakdown.counts[StallType.MEM_DATA],
+        )
+    )
+    claims.append(
+        Claim(
+            "stash memory data stalls rise with MSHR size",
+            "2.1x at 256 entries",
+            "%d -> %d cycles"
+            % (
+                lo.results["stash"].breakdown.counts[StallType.MEM_DATA],
+                hi.results["stash"].breakdown.counts[StallType.MEM_DATA],
+            ),
+            hi.results["stash"].breakdown.counts[StallType.MEM_DATA]
+            >= lo.results["stash"].breakdown.counts[StallType.MEM_DATA],
+        )
+    )
+    claims.append(
+        Claim(
+            "stash's absolute data-stall level stays below scratchpad's",
+            "the increase is less significant for stash",
+            "%d vs %d cycles at %d entries"
+            % (
+                hi.results["stash"].breakdown.counts[StallType.MEM_DATA],
+                hi.results["scratchpad"].breakdown.counts[StallType.MEM_DATA],
+                largest,
+            ),
+            hi.results["stash"].breakdown.counts[StallType.MEM_DATA]
+            <= hi.results["scratchpad"].breakdown.counts[StallType.MEM_DATA],
+        )
+    )
+    claims.append(
+        Claim(
+            "pending-DMA stalls grow as the MSHR bottleneck lifts",
+            "8.9x at 256 entries",
+            "%d -> %d cycles"
+            % (
+                lo.results["scratchpad+dma"].breakdown.mem_struct[
+                    MemStructCause.PENDING_DMA
+                ],
+                hi.results["scratchpad+dma"].breakdown.mem_struct[
+                    MemStructCause.PENDING_DMA
+                ],
+            ),
+            hi.results["scratchpad+dma"].breakdown.mem_struct[
+                MemStructCause.PENDING_DMA
+            ]
+            > lo.results["scratchpad+dma"].breakdown.mem_struct[
+                MemStructCause.PENDING_DMA
+            ],
+        )
+    )
+    hi.claims = claims
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Overhead: "GSI increases simulation time by on average 5%"
+# ---------------------------------------------------------------------------
+
+def overhead_experiment(repeats: int = 3) -> dict[str, float]:
+    """Wall-clock cost of GSI attribution on a representative workload."""
+    from repro.workloads.synthetic import StreamingWorkload
+
+    def run_once(enabled: bool) -> float:
+        wl = StreamingWorkload(num_tbs=8, warps_per_tb=4, elements_per_warp=64)
+        cfg = SystemConfig(num_sms=8, gsi_enabled=enabled)
+        t0 = time.perf_counter()
+        run_workload(cfg, wl)
+        return time.perf_counter() - t0
+
+    with_gsi = min(run_once(True) for _ in range(repeats))
+    without = min(run_once(False) for _ in range(repeats))
+    return {
+        "with_gsi_s": with_gsi,
+        "without_gsi_s": without,
+        "overhead_pct": 100.0 * (with_gsi - without) / without if without else 0.0,
+    }

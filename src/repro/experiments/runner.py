@@ -1,0 +1,99 @@
+"""Experiment runner: regenerate every table and figure from the paper.
+
+Usage (also wired up as ``python -m repro.experiments``)::
+
+    python -m repro.experiments               # everything
+    python -m repro.experiments fig6.3        # one artifact
+    python -m repro.experiments --fast        # reduced problem sizes
+
+Each experiment prints the three paper-style views (execution-time
+breakdown, memory-data sub-breakdown, memory-structural sub-breakdown),
+ASCII stacked bars, and the checked shape claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import figures
+
+
+def _run_fig61(fast: bool) -> str:
+    nodes = 60 if fast else 150
+    return figures.fig61(total_nodes=nodes).render()
+
+
+def _run_fig62(fast: bool) -> str:
+    nodes = 60 if fast else 150
+    return figures.fig62(total_nodes=nodes, include_uts_reference=not fast).render()
+
+
+def _run_fig63(fast: bool) -> str:
+    tbs = 2 if fast else 4
+    return figures.fig63(num_tbs=tbs).render()
+
+
+def _run_fig64(fast: bool) -> str:
+    sizes = (32, 256) if fast else (32, 64, 128, 256)
+    tbs = 2 if fast else 4
+    sweep = figures.fig64(mshr_sizes=sizes, num_tbs=tbs)
+    parts = [sweep[size].render() for size in sizes]
+    return "\n\n".join(parts)
+
+
+def _run_table51(fast: bool) -> str:
+    return figures.table51()
+
+
+def _run_overhead(fast: bool) -> str:
+    stats = figures.overhead_experiment(repeats=1 if fast else 3)
+    return (
+        "GSI attribution overhead (paper: ~5%% simulation time):\n"
+        "  with GSI    %.3f s\n  without GSI %.3f s\n  overhead    %.1f%%"
+        % (stats["with_gsi_s"], stats["without_gsi_s"], stats["overhead_pct"])
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+    "table5.1": _run_table51,
+    "fig6.1": _run_fig61,
+    "fig6.2": _run_fig62,
+    "fig6.3": _run_fig63,
+    "fig6.4": _run_fig64,
+    "overhead": _run_overhead,
+}
+
+
+def run(names: list[str] | None = None, fast: bool = False) -> str:
+    """Run the named experiments (all by default); returns the report."""
+    chosen = names or list(EXPERIMENTS)
+    unknown = [n for n in chosen if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(
+            "unknown experiment(s) %s; available: %s"
+            % (unknown, ", ".join(EXPERIMENTS))
+        )
+    blocks = []
+    for name in chosen:
+        blocks.append(EXPERIMENTS[name](fast))
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", help="subset to run")
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced problem sizes (CI-friendly)"
+    )
+    args = parser.parse_args(argv)
+    print(run(args.experiments or None, fast=args.fast))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""GPU core model: instructions, kernels, warps, schedulers, SMs."""
+
+from repro.gpu.instruction import Instruction, MapMode, Op, Space
+from repro.gpu.kernel import Kernel, ThreadBlock, WarpContext, uniform_grid
+from repro.gpu.scheduler import GreedyThenOldest, LooseRoundRobin, make_scheduler
+from repro.gpu.sm import SM
+from repro.gpu.tb_scheduler import ThreadBlockScheduler
+from repro.gpu.warp import Warp
+
+__all__ = [
+    "GreedyThenOldest",
+    "Instruction",
+    "Kernel",
+    "LooseRoundRobin",
+    "MapMode",
+    "Op",
+    "SM",
+    "Space",
+    "ThreadBlock",
+    "ThreadBlockScheduler",
+    "Warp",
+    "WarpContext",
+    "make_scheduler",
+    "uniform_grid",
+]

@@ -1,0 +1,113 @@
+"""Kernel, thread-block and warp-program abstractions.
+
+A *warp program* is a Python generator: it yields
+:class:`~repro.gpu.instruction.Instruction` objects and -- for instructions
+with ``returns_value`` set (loads feeding control flow, atomics) -- receives
+the completed value back at the ``yield`` expression.  This gives workloads
+real data-dependent control flow (spin locks, task queues, trees) without a
+full ISA: the generator *is* the instruction stream.
+
+Thread blocks define SM scheduling granularity and warps define pipeline
+scheduling granularity, exactly as in Chapter 2: all warps of a thread block
+run on one SM and occupy it until they complete.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Iterator
+
+from repro.gpu.instruction import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mem.main_memory import GlobalMemory
+
+#: a warp program: generator of instructions, resumed with completed values.
+WarpProgram = Generator[Instruction, "int | None", None]
+ProgramFactory = Callable[["WarpContext"], WarpProgram]
+
+
+@dataclass
+class WarpContext:
+    """Runtime identity and helpers handed to a warp program."""
+
+    sm_id: int
+    tb_id: int
+    warp_id: int            # global warp id
+    warp_index: int         # index within the thread block
+    num_warps_in_tb: int
+    rng: random.Random
+    memory: "GlobalMemory"
+
+    def peek_word(self, addr: int) -> int:
+        """Functional (zero-latency) read, for program bookkeeping only."""
+        return self.memory.load_word(addr)
+
+
+@dataclass
+class ThreadBlock:
+    """A thread block: the unit assigned to an SM."""
+
+    tb_id: int
+    programs: list[ProgramFactory]
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.programs)
+
+
+@dataclass
+class Kernel:
+    """A grid of thread blocks plus optional lifecycle hooks.
+
+    ``on_warp_finish(sm, ctx)`` runs when a warp's program is exhausted --
+    the stash uses it to queue lazy writebacks of the warp's chunk.
+    ``warps_per_sm_limit`` caps concurrent warps per SM (occupancy).
+    """
+
+    name: str
+    thread_blocks: list[ThreadBlock]
+    on_warp_finish: Callable[[object, WarpContext], None] | None = None
+    warps_per_sm_limit: int | None = None
+
+    @property
+    def num_thread_blocks(self) -> int:
+        return len(self.thread_blocks)
+
+    @property
+    def total_warps(self) -> int:
+        return sum(tb.num_warps for tb in self.thread_blocks)
+
+    def validate(self, max_warps_per_sm: int) -> None:
+        if not self.thread_blocks:
+            raise ValueError("kernel %r has no thread blocks" % self.name)
+        for tb in self.thread_blocks:
+            if tb.num_warps < 1:
+                raise ValueError("thread block %d has no warps" % tb.tb_id)
+            if tb.num_warps > max_warps_per_sm:
+                raise ValueError(
+                    "thread block %d has %d warps; SM supports %d"
+                    % (tb.tb_id, tb.num_warps, max_warps_per_sm)
+                )
+
+
+def uniform_grid(
+    name: str,
+    num_tbs: int,
+    warps_per_tb: int,
+    factory: Callable[[int, int], ProgramFactory],
+    **kernel_kwargs,
+) -> Kernel:
+    """Build a kernel whose TBs all have ``warps_per_tb`` warps.
+
+    ``factory(tb_id, warp_index)`` returns the program factory for one warp.
+    """
+    tbs = [
+        ThreadBlock(
+            tb_id=tb,
+            programs=[factory(tb, w) for w in range(warps_per_tb)],
+        )
+        for tb in range(num_tbs)
+    ]
+    return Kernel(name=name, thread_blocks=tbs, **kernel_kwargs)

@@ -1,0 +1,95 @@
+"""Per-warp register scoreboard.
+
+Tracks which registers have a pending write and *what kind of producer* is
+writing them, because Algorithm 1 distinguishes a data hazard on a pending
+load (memory data stall) from one on a pending compute op (compute data
+stall).  Memory producers carry the access-group tag used by the attribution
+engine to sub-classify the stall once the load's service location is known.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ProducerKind(enum.Enum):
+    MEMORY = "memory"
+    COMPUTE = "compute"
+
+
+class Scoreboard:
+    """Pending register writes for one warp."""
+
+    def __init__(self) -> None:
+        #: reg -> (kind, tag_or_ready_cycle)
+        self._pending: dict[int, tuple[ProducerKind, int]] = {}
+
+    def set_compute(self, reg: int, ready_cycle: int) -> None:
+        self._pending[reg] = (ProducerKind.COMPUTE, ready_cycle)
+
+    def set_memory(self, reg: int, tag: int) -> None:
+        self._pending[reg] = (ProducerKind.MEMORY, tag)
+
+    def clear(self, reg: int) -> None:
+        self._pending.pop(reg, None)
+
+    def clear_memory_tag(self, tag: int) -> None:
+        """Clear every register written by access group ``tag``."""
+        doomed = [
+            r
+            for r, (kind, t) in self._pending.items()
+            if kind is ProducerKind.MEMORY and t == tag
+        ]
+        for r in doomed:
+            del self._pending[r]
+
+    # ------------------------------------------------------------------
+    def hazard(
+        self, regs: tuple[int, ...], now: int
+    ) -> tuple[ProducerKind, int] | None:
+        """First blocking producer among ``regs``; memory hazards win.
+
+        Returns ``(kind, detail)`` where detail is the access-group tag for
+        memory producers or the ready cycle for compute producers, or
+        ``None`` if all operands are ready.
+        """
+        found: tuple[ProducerKind, int] | None = None
+        for reg in regs:
+            entry = self._pending.get(reg)
+            if entry is None:
+                continue
+            kind, detail = entry
+            if kind is ProducerKind.COMPUTE:
+                if detail <= now:
+                    # Result is ready this cycle: retire the entry lazily.
+                    del self._pending[reg]
+                    continue
+                if found is None:
+                    found = entry
+            else:
+                # Memory hazards take precedence (Algorithm 1 checks the
+                # pending-load hazard before the pending-compute hazard).
+                return entry
+        return found
+
+    def pending_count(self, now: int) -> int:
+        self._sweep(now)
+        return len(self._pending)
+
+    def _sweep(self, now: int) -> None:
+        done = [
+            r
+            for r, (kind, detail) in self._pending.items()
+            if kind is ProducerKind.COMPUTE and detail <= now
+        ]
+        for r in done:
+            del self._pending[r]
+
+    def next_compute_ready(self, now: int) -> int | None:
+        """Earliest future cycle a pending compute result lands, if any."""
+        times = [
+            detail
+            for kind, detail in self._pending.values()
+            if kind is ProducerKind.COMPUTE and detail > now
+        ]
+        return min(times) if times else None

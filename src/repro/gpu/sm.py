@@ -1,0 +1,605 @@
+"""Streaming multiprocessor: the issue stage GSI instruments.
+
+Each cycle the warp scheduler orders the resident warps and the issue stage
+evaluates one instruction per warp, exactly as Chapter 2 describes ("the
+issue stage of an SM may consider only one instruction from each warp at any
+time").  The evaluation order *is* Algorithm 1 -- the first condition that
+holds is the instruction's strong stall cause -- and the per-cycle cause is
+chosen by Algorithm 2 (:func:`repro.core.classifier.classify_cycle_with_detail`).
+
+Sleep/wake: when nothing issued and every warp is blocked on a future event,
+the SM deactivates and attributes the skipped cycles in bulk to the cause it
+went to sleep with (the cause cannot change while no state changes).  This
+keeps Python simulation time proportional to events, not cycles, without
+altering the attribution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.attribution import SmAttribution
+from repro.core.classifier import (
+    classify_cycle_first,
+    classify_cycle_strong,
+    classify_cycle_with_detail,
+)
+from repro.core.stall_types import ServiceLocation, StallType
+from repro.gpu.compute_unit import ComputeUnits
+from repro.gpu.instruction import Instruction, MapMode, Op, Space
+from repro.gpu.kernel import Kernel, ThreadBlock, WarpContext
+from repro.gpu.lsu import AccessGroup, Lsu
+from repro.gpu.scheduler import make_scheduler
+from repro.gpu.scoreboard import ProducerKind
+from repro.gpu.warp import Warp
+from repro.mem.l1 import L1Controller
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.dma import DmaEngine
+    from repro.mem.main_memory import GlobalMemory
+    from repro.mem.scratchpad import Scratchpad
+    from repro.mem.stash import Stash
+
+_tags = itertools.count(1)
+
+
+def _next_tag() -> int:
+    return next(_tags)
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        node: int,
+        config: SystemConfig,
+        engine: Engine,
+        l1: L1Controller,
+        memory: "GlobalMemory",
+        attribution: SmAttribution | None,
+        scratchpad: "Scratchpad | None" = None,
+        dma: "DmaEngine | None" = None,
+        stash: "Stash | None" = None,
+    ) -> None:
+        self.sm_id = sm_id
+        self.node = node
+        self.config = config
+        self.engine = engine
+        self.l1 = l1
+        self.memory = memory
+        self.attr = attribution
+        self.scratchpad = scratchpad
+        self.dma = dma
+        self.stash = stash
+        self.cu = ComputeUnits(config)
+        self.lsu = Lsu(config, l1, scratchpad=scratchpad, dma=dma, stash=stash)
+        # Re-evaluate whenever an MSHR entry or store-buffer slot frees:
+        # a warp sleeping on a structural stall may now be issuable.
+        l1.resource_freed_hooks.append(self.wake)
+        self.scheduler = make_scheduler(config.warp_scheduler)
+        self.warps: list[Warp] = []
+        self.kernel: Kernel | None = None
+        self.on_tb_complete: Callable[["SM", int], None] | None = None
+        self._barriers: dict[int, set[int]] = {}
+        self._active_releases = 0
+        # sleep bookkeeping
+        self.tid = engine.register(self)
+        self.sleeping = False
+        self._sleep_cause: tuple[StallType, object] = (StallType.IDLE, None)
+        self._sleep_from = 0
+        # statistics
+        self.instructions_issued = 0
+        self.cycles_ticked = 0
+
+    # ==================================================================
+    # Thread-block lifecycle
+    # ==================================================================
+    def begin_idle(self) -> None:
+        """Park the SM as idle-from-now; run_kernel calls this at launch so
+        SMs that never receive a thread block still attribute idle cycles."""
+        self.sleeping = True
+        self._sleep_cause = (StallType.IDLE, None)
+        self._sleep_from = self.engine.now
+
+    def assign_thread_block(self, tb: ThreadBlock, kernel: Kernel) -> None:
+        self.kernel = kernel
+        for idx, factory in enumerate(tb.programs):
+            ctx = WarpContext(
+                sm_id=self.sm_id,
+                tb_id=tb.tb_id,
+                warp_id=tb.tb_id * 1000 + idx,
+                warp_index=idx,
+                num_warps_in_tb=tb.num_warps,
+                rng=random.Random(
+                    (self.config.seed << 20) ^ (tb.tb_id << 8) ^ idx
+                ),
+                memory=self.memory,
+            )
+            warp = Warp(ctx, factory(ctx))
+            warp.prime()
+            self.warps.append(warp)
+            if warp.finished:
+                self._on_warp_finished(warp)
+        self.wake()
+        if not self.engine.is_active(self.tid):
+            self.engine.activate(self.tid, self)
+
+    def resident_warp_count(self) -> int:
+        return len(self.warps)
+
+    # ==================================================================
+    # Per-cycle issue stage
+    # ==================================================================
+    def tick(self) -> None:
+        now = self.engine.now
+        self.cycles_ticked += 1
+        active = [w for w in self.warps if not w.finished]
+        issued = 0
+        causes: list[tuple[StallType, object]] = []
+        if active:
+            for warp in self.scheduler.order(active, now):
+                cause, detail, action = self._evaluate(warp, now)
+                if (
+                    cause is StallType.NO_STALL
+                    and issued < self.config.issue_width
+                    and action is not None
+                ):
+                    action()
+                    self.scheduler.note_issue(warp, 0, now)
+                    warp.instructions_issued += 1
+                    warp.last_issue = now
+                    self.instructions_issued += 1
+                    issued += 1
+                causes.append((cause, detail))
+        cycle_cause, cycle_detail = self._classify(causes)
+        if self.attr is not None:
+            self.attr.record(cycle_cause, cycle_detail, 1, at=now)
+        if issued == 0:
+            self._consider_sleep(cycle_cause, cycle_detail, now)
+
+    def _classify(
+        self, causes: list[tuple[StallType, object]]
+    ) -> tuple[StallType, object]:
+        """Cycle classification under the configured policy.
+
+        "weak" is Algorithm 2 (the default and the paper's choice); the
+        alternatives exist for the attribution-policy ablation benchmark.
+        """
+        policy = self.config.attribution_policy
+        if policy == "weak":
+            return classify_cycle_with_detail(causes)
+        types = [c for c, _ in causes]
+        if policy == "strong":
+            chosen = classify_cycle_strong(types)
+        else:
+            chosen = classify_cycle_first(types)
+        detail = next((d for c, d in causes if c is chosen), None)
+        return chosen, detail
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: strongest cause preventing this warp's instruction
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, warp: Warp, now: int
+    ) -> tuple[StallType, object, Callable[[], None] | None]:
+        if now < warp.fetch_ready_at:
+            return (StallType.CONTROL, None, None)
+        if warp.waiting_value:
+            kind, tag = warp.value_producer or ("sync", 0)
+            if kind == "mem":
+                return (StallType.MEM_DATA, tag, None)
+            if kind == "compute":
+                return (StallType.COMP_DATA, None, None)
+            return (StallType.SYNC, None, None)
+        if warp.at_barrier:
+            return (StallType.SYNC, None, None)
+        instr = warp.current
+        if instr is None:
+            return (StallType.CONTROL, None, None)
+        hazard = warp.scoreboard.hazard(instr.srcs, now)
+        if hazard is not None and hazard[0] is ProducerKind.MEMORY:
+            return (StallType.MEM_DATA, hazard[1], None)
+        if instr.is_memory:
+            struct = self.lsu.check(instr, now)
+            if struct is not None:
+                return (StallType.MEM_STRUCT, struct, None)
+        if hazard is not None:
+            return (StallType.COMP_DATA, None, None)
+        if instr.op is Op.SFU and not self.cu.sfu_ready(now):
+            self.cu.note_sfu_rejection()
+            return (StallType.COMP_STRUCT, None, None)
+        return (StallType.NO_STALL, None, lambda w=warp, i=instr: self._issue(w, i, now))
+
+    def _release_complete(self) -> None:
+        self._active_releases -= 1
+        if self._active_releases <= 0:
+            self._active_releases = 0
+            self.lsu.end_release()
+        self.wake()
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+    def _issue(self, warp: Warp, instr: Instruction, now: int) -> None:
+        warp.fetch_ready_at = now + 1 + instr.fetch_delay
+        op = instr.op
+        if op is Op.ALU or op is Op.SFU:
+            self._issue_compute(warp, instr, now)
+        elif op is Op.LOAD:
+            self._issue_load(warp, instr, now)
+        elif op is Op.STORE:
+            self._issue_store(warp, instr, now)
+        elif op is Op.ATOMIC:
+            self._issue_atomic(warp, instr, now)
+        elif op is Op.BARRIER:
+            self._issue_barrier(warp, instr, now)
+        elif op is Op.MAP:
+            self._issue_map(warp, instr, now)
+        elif op is Op.NOP:
+            self._advance(warp, None)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError("cannot issue %r" % (op,))
+
+    def _issue_compute(self, warp: Warp, instr: Instruction, now: int) -> None:
+        if instr.op is Op.SFU:
+            ready = self.cu.issue_sfu(now)
+        else:
+            ready = self.cu.issue_alu(now, instr.latency)
+        if instr.returns_value:
+            warp.waiting_value = True
+            warp.value_producer = ("compute", ready)
+            self.engine.schedule(ready - now, lambda: self._compute_value_done(warp))
+            return
+        if instr.dst is not None:
+            warp.scoreboard.set_compute(instr.dst, ready)
+        self._advance(warp, None)
+
+    def _compute_value_done(self, warp: Warp) -> None:
+        self.wake()
+        self._advance(warp, 0)
+
+    # -- loads -------------------------------------------------------------
+    def _issue_load(self, warp: Warp, instr: Instruction, now: int) -> None:
+        if instr.space is Space.GLOBAL:
+            self._issue_global_load(warp, instr, now)
+        elif instr.space is Space.SCRATCH:
+            self._issue_scratch_load(warp, instr, now)
+        else:
+            self._issue_stash_load(warp, instr, now)
+
+    def _issue_global_load(self, warp: Warp, instr: Instruction, now: int) -> None:
+        lines = self.lsu.lines_of(instr)
+        degree = self.lsu.l1_bank_conflict_degree(lines)
+        self.lsu.occupy(now, degree - 1)
+        group = AccessGroup(tag=_next_tag(), remaining=len(lines))
+        if instr.dst is not None:
+            warp.scoreboard.set_memory(instr.dst, group.tag)
+        if instr.returns_value:
+            warp.waiting_value = True
+            warp.value_producer = ("mem", group.tag)
+        else:
+            self._advance(warp, None)
+        for line in lines:
+            self.l1.load_line(
+                line,
+                lambda loc, _rid, g=group, w=warp, i=instr: self._group_line_done(
+                    w, i, g, loc
+                ),
+            )
+
+    def _group_line_done(
+        self, warp: Warp, instr: Instruction, group: AccessGroup, loc: ServiceLocation
+    ) -> None:
+        if not group.line_done(loc):
+            return
+        self.wake()
+        final = group.final_loc or loc
+        if self.attr is not None:
+            self.attr.resolve_mem(group.tag, final)
+        warp.scoreboard.clear_memory_tag(group.tag)
+        if (
+            warp.waiting_value
+            and warp.value_producer is not None
+            and warp.value_producer == ("mem", group.tag)
+        ):
+            value = self._read_value(instr)
+            self._advance(warp, value)
+
+    def _read_value(self, instr: Instruction) -> int:
+        addr = instr.value_addr if instr.value_addr is not None else instr.addrs[0]
+        if instr.space is Space.GLOBAL:
+            return self.memory.load_word(addr)
+        if instr.space is Space.SCRATCH:
+            assert self.scratchpad is not None
+            return self.scratchpad.load_word(addr)
+        assert self.stash is not None
+        return self.stash.storage.load_word(addr)
+
+    def _issue_scratch_load(self, warp: Warp, instr: Instruction, now: int) -> None:
+        assert self.scratchpad is not None, "scratch load without a scratchpad"
+        cycles = self.scratchpad.access_cycles(list(instr.addrs))
+        self.lsu.occupy(now, cycles - 1)
+        tag = _next_tag()
+        if instr.dst is not None:
+            warp.scoreboard.set_memory(instr.dst, tag)
+        if instr.returns_value:
+            warp.waiting_value = True
+            warp.value_producer = ("mem", tag)
+        else:
+            self._advance(warp, None)
+        self.engine.schedule(
+            cycles, lambda: self._local_load_done(warp, instr, tag)
+        )
+
+    def _local_load_done(self, warp: Warp, instr: Instruction, tag: int) -> None:
+        self.wake()
+        if self.attr is not None:
+            # Serviced locally: lands in the L1 bucket of the sub-taxonomy.
+            self.attr.resolve_mem(tag, ServiceLocation.L1)
+        warp.scoreboard.clear_memory_tag(tag)
+        if warp.waiting_value and warp.value_producer == ("mem", tag):
+            self._advance(warp, self._read_value(instr))
+
+    def _issue_stash_load(self, warp: Warp, instr: Instruction, now: int) -> None:
+        assert self.stash is not None, "stash load without a stash"
+        stash = self.stash
+        local_lines: dict[int, int] = {}
+        for a in instr.addrs:
+            local_lines.setdefault(stash.local_line(a), a)
+        if all(stash.is_present(a) for a in instr.addrs):
+            cycles = stash.storage.access_cycles(list(instr.addrs))
+            self.lsu.occupy(now, cycles - 1)
+            tag = _next_tag()
+            if instr.dst is not None:
+                warp.scoreboard.set_memory(instr.dst, tag)
+            if instr.returns_value:
+                warp.waiting_value = True
+                warp.value_producer = ("mem", tag)
+            else:
+                self._advance(warp, None)
+            self.engine.schedule(cycles, lambda: self._local_load_done(warp, instr, tag))
+            return
+        group = AccessGroup(tag=_next_tag(), remaining=len(local_lines))
+        if instr.dst is not None:
+            warp.scoreboard.set_memory(instr.dst, group.tag)
+        if instr.returns_value:
+            warp.waiting_value = True
+            warp.value_producer = ("mem", group.tag)
+        else:
+            self._advance(warp, None)
+        for _lline, addr in local_lines.items():
+            stash.access_load(
+                addr,
+                lambda loc, g=group, w=warp, i=instr: self._group_line_done(w, i, g, loc),
+            )
+
+    # -- stores ------------------------------------------------------------
+    def _issue_store(self, warp: Warp, instr: Instruction, now: int) -> None:
+        value = instr.store_value()
+        if instr.space is Space.GLOBAL:
+            if value is not None:
+                self.memory.store_word(instr.addrs[0], value)
+            lines = self.lsu.lines_of(instr)
+            degree = self.lsu.l1_bank_conflict_degree(lines)
+            self.lsu.occupy(now, degree - 1)
+            for line in lines:
+                self.l1.store_line(line)
+        elif instr.space is Space.SCRATCH:
+            assert self.scratchpad is not None
+            if value is not None:
+                self.scratchpad.store_word(instr.addrs[0], value)
+            cycles = self.scratchpad.access_cycles(list(instr.addrs))
+            self.lsu.occupy(now, cycles - 1)
+        else:
+            self._issue_stash_store(warp, instr, now, value)
+        self._advance(warp, None)
+
+    def _issue_stash_store(
+        self, warp: Warp, instr: Instruction, now: int, value: int | None
+    ) -> None:
+        assert self.stash is not None
+        stash = self.stash
+        if value is not None:
+            stash.storage.store_word(instr.addrs[0], value)
+        cycles = stash.storage.access_cycles(list(instr.addrs))
+        self.lsu.occupy(now, cycles - 1)
+        seen: set[int] = set()
+        for a in instr.addrs:
+            lline = stash.local_line(a)
+            if lline in seen:
+                continue
+            seen.add(lline)
+            was_dirty = stash.is_dirty(a)
+            stash.access_store(a)
+            if not was_dirty:
+                # First dirtying of the line: DeNovo registration through
+                # the store buffer (this is the stash's SB pressure).
+                self.l1.store_line(stash.global_line_of(a))
+
+    # -- atomics -------------------------------------------------------------
+    def _issue_atomic(self, warp: Warp, instr: Instruction, now: int) -> None:
+        assert instr.atomic_fn is not None
+        tag = _next_tag()
+        kind = "sync" if (instr.acquire or instr.release) else "mem"
+        if instr.returns_value:
+            warp.waiting_value = True
+            warp.value_producer = (kind, tag)
+
+        def send() -> None:
+            self.l1.atomic(
+                instr.addrs[0],
+                instr.atomic_fn,
+                lambda v, w=warp, i=instr, t=tag, k=kind: self._atomic_done(
+                    w, i, t, k, v
+                ),
+            )
+
+        if instr.release:
+            # Release ordering: prior buffered stores must be visible before
+            # the release write performs.  The LSU blocks younger memory
+            # instructions (PENDING_RELEASE) until all prior stores are
+            # flushed (Section 4.4); the release write itself then departs.
+            # DeNovo flushes are cheap -- stores to owned lines never entered
+            # the buffer -- which is exactly its release advantage.
+            self._active_releases += 1
+            self.lsu.begin_release()
+
+            def flush_done() -> None:
+                self._release_complete()
+                send()
+
+            self.l1.flush_store_buffer(flush_done)
+        else:
+            send()
+        if not instr.returns_value:
+            self._advance(warp, None)
+
+    def _atomic_done(
+        self, warp: Warp, instr: Instruction, tag: int, kind: str, value: int
+    ) -> None:
+        self.wake()
+        if kind == "mem" and self.attr is not None:
+            self.attr.resolve_mem(tag, ServiceLocation.L2)
+        if instr.acquire:
+            self.l1.acquire_invalidate()
+        if instr.returns_value:
+            self._advance(warp, value)
+
+    # -- barriers -------------------------------------------------------------
+    def _issue_barrier(self, warp: Warp, instr: Instruction, now: int) -> None:
+        warp.at_barrier = True
+        tb = warp.ctx.tb_id
+        arrived = self._barriers.setdefault(tb, set())
+        arrived.add(warp.ctx.warp_id)
+        self._check_barrier(tb)
+
+    def _check_barrier(self, tb: int) -> None:
+        arrived = self._barriers.get(tb)
+        if arrived is None:
+            return
+        expected = {
+            w.ctx.warp_id for w in self.warps if w.ctx.tb_id == tb and not w.finished
+        }
+        if expected and expected <= arrived:
+            self._barriers[tb] = set()
+            self.engine.schedule(1, lambda: self._release_barrier(tb))
+
+    def _release_barrier(self, tb: int) -> None:
+        self.wake()
+        for w in list(self.warps):
+            if w.ctx.tb_id == tb and w.at_barrier and not w.finished:
+                w.at_barrier = False
+                self._advance(w, None)
+
+    # -- local-memory map / DMA ------------------------------------------------
+    def _issue_map(self, warp: Warp, instr: Instruction, now: int) -> None:
+        mode = instr.map_mode
+        if mode is MapMode.STASH_MAP:
+            assert self.stash is not None, "stash_map without a stash"
+            self.stash.map_region(
+                instr.map_scratch_base, instr.map_global_base, instr.map_size
+            )
+        elif mode is MapMode.DMA_TO_SCRATCH:
+            assert self.dma is not None, "DMA map without a DMA engine"
+            from repro.mem.dma import DmaTransfer
+
+            self.dma.start(
+                DmaTransfer(
+                    global_base=instr.map_global_base,
+                    scratch_base=instr.map_scratch_base,
+                    size=instr.map_size,
+                    to_scratch=True,
+                    on_done=self.wake,
+                )
+            )
+        elif mode is MapMode.DMA_TO_GLOBAL:
+            assert self.dma is not None, "DMA map without a DMA engine"
+            from repro.mem.dma import DmaTransfer
+
+            self.dma.start(
+                DmaTransfer(
+                    global_base=instr.map_global_base,
+                    scratch_base=instr.map_scratch_base,
+                    size=instr.map_size,
+                    to_scratch=False,
+                    on_done=self.wake,
+                )
+            )
+        else:  # pragma: no cover - exhaustive
+            raise ValueError("MAP instruction without a mode")
+        self._advance(warp, None)
+
+    # ==================================================================
+    # Program advancement & completion
+    # ==================================================================
+    def _advance(self, warp: Warp, value: int | None) -> None:
+        warp.advance(value)
+        if warp.finished:
+            self._on_warp_finished(warp)
+
+    def _on_warp_finished(self, warp: Warp) -> None:
+        if self.kernel is not None and self.kernel.on_warp_finish is not None:
+            self.kernel.on_warp_finish(self, warp.ctx)
+        tb = warp.ctx.tb_id
+        self._check_barrier(tb)
+        mates = [w for w in self.warps if w.ctx.tb_id == tb]
+        if all(w.finished for w in mates):
+            self.warps = [w for w in self.warps if w.ctx.tb_id != tb]
+            self._barriers.pop(tb, None)
+            if self.on_tb_complete is not None:
+                self.on_tb_complete(self, tb)
+
+    # ==================================================================
+    # Sleep / wake
+    # ==================================================================
+    def _consider_sleep(
+        self, cause: StallType, detail: object, now: int
+    ) -> None:
+        wakes: list[int] = []
+        for w in self.warps:
+            if w.finished:
+                continue
+            if now < w.fetch_ready_at:
+                wakes.append(w.fetch_ready_at)
+            if w.waiting_value and w.value_producer and w.value_producer[0] == "compute":
+                wakes.append(int(w.value_producer[1]))
+            ready = w.scoreboard.next_compute_ready(now)
+            if ready is not None:
+                wakes.append(ready)
+        if self.lsu.busy_until > now:
+            wakes.append(self.lsu.busy_until)
+        if self.cu.sfu_free_at() > now:
+            wakes.append(self.cu.sfu_free_at())
+        self.sleeping = True
+        self._sleep_cause = (cause, detail)
+        self._sleep_from = now + 1
+        self.engine.deactivate(self.tid)
+        if wakes:
+            delay = max(1, min(wakes) - now)
+            self.engine.schedule(delay, self.wake)
+
+    def wake(self) -> None:
+        """Reactivate; bulk-attribute the slept cycles to the sleep cause."""
+        if not self.sleeping:
+            return
+        gap = self.engine.now - self._sleep_from
+        if gap > 0 and self.attr is not None:
+            cause, detail = self._sleep_cause
+            self.attr.record(cause, detail, gap, at=self._sleep_from)
+        self.sleeping = False
+        self.engine.activate(self.tid, self)
+
+    def finalize(self, end_cycle: int) -> None:
+        """Account for a sleep period still open when the run ended."""
+        if self.sleeping:
+            gap = end_cycle - self._sleep_from
+            if gap > 0 and self.attr is not None:
+                cause, detail = self._sleep_cause
+                self.attr.record(cause, detail, gap, at=self._sleep_from)
+            self.sleeping = False

@@ -1,0 +1,66 @@
+"""Thread-block scheduler.
+
+When a kernel is launched, the scheduler assigns thread blocks to SMs
+(Chapter 2: "a scheduler begins assigning the specified number of threads to
+the SMs").  All warps of a thread block land on one SM and occupy it until
+they complete; when a thread block finishes, the next queued block launches
+on the freed SM.  Uneven block runtimes therefore leave some SMs idle at the
+tail -- the source of idle stalls in irregular kernels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.gpu.kernel import Kernel, ThreadBlock
+from repro.gpu.sm import SM
+
+
+class ThreadBlockScheduler:
+    """Round-robin initial placement, refill-on-completion thereafter."""
+
+    def __init__(self, sms: list[SM], kernel: Kernel, warps_limit: int) -> None:
+        if not sms:
+            raise ValueError("no SMs to schedule on")
+        self.sms = sms
+        self.kernel = kernel
+        self.warps_limit = warps_limit
+        self._queue: deque[ThreadBlock] = deque(kernel.thread_blocks)
+        self._outstanding = kernel.num_thread_blocks
+        self.on_kernel_complete: Callable[[], None] | None = None
+        kernel.validate(warps_limit)
+        for sm in sms:
+            sm.on_tb_complete = self._tb_complete
+
+    # ------------------------------------------------------------------
+    def launch(self) -> None:
+        """Initial placement: fill every SM up to the warp limit."""
+        progress = True
+        while self._queue and progress:
+            progress = False
+            for sm in self.sms:
+                if not self._queue:
+                    break
+                tb = self._queue[0]
+                if sm.resident_warp_count() + tb.num_warps <= self.warps_limit:
+                    self._queue.popleft()
+                    sm.assign_thread_block(tb, self.kernel)
+                    progress = True
+
+    def _tb_complete(self, sm: SM, tb_id: int) -> None:
+        self._outstanding -= 1
+        # Refill the freed SM first, then anyone else with room.
+        while self._queue:
+            tb = self._queue[0]
+            if sm.resident_warp_count() + tb.num_warps <= self.warps_limit:
+                self._queue.popleft()
+                sm.assign_thread_block(tb, self.kernel)
+            else:
+                break
+        if self._outstanding == 0 and self.on_kernel_complete is not None:
+            self.on_kernel_complete()
+
+    @property
+    def blocks_remaining(self) -> int:
+        return self._outstanding

@@ -1,0 +1,91 @@
+"""Warp execution state.
+
+A warp owns its program generator, its scoreboard, and the flags the issue
+stage inspects when running Algorithm 1: is it finished, parked at a
+barrier, waiting for a value it needs before the *next* instruction can even
+be produced (a control-flow dependence on a load or atomic), or blocked in
+a release flush.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import WarpContext, WarpProgram
+from repro.gpu.scoreboard import Scoreboard
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class Warp:
+    """One warp resident on an SM."""
+
+    __slots__ = (
+        "ctx",
+        "program",
+        "current",
+        "finished",
+        "at_barrier",
+        "waiting_value",
+        "value_producer",
+        "fetch_ready_at",
+        "release_flush_started",
+        "scoreboard",
+        "instructions_issued",
+        "last_issue",
+    )
+
+    def __init__(self, ctx: WarpContext, program: WarpProgram) -> None:
+        self.ctx = ctx
+        self.program = program
+        self.current: Instruction | None = None
+        self.finished = False
+        self.at_barrier = False
+        #: program suspended until a value-returning instruction completes
+        self.waiting_value = False
+        #: ("mem" | "sync" | "compute", tag) -- classification of the wait
+        self.value_producer: tuple[str, int] | None = None
+        self.fetch_ready_at = 0
+        #: the current release-semantics op already triggered its SB flush
+        self.release_flush_started = False
+        self.scoreboard = Scoreboard()
+        self.instructions_issued = 0
+        self.last_issue = -1
+
+    # ------------------------------------------------------------------
+    def prime(self) -> None:
+        """Fetch the first instruction."""
+        self._advance_program(None)
+
+    def advance(self, value: int | None) -> None:
+        """Resume the program after the previous instruction issued or,
+        for value-returning instructions, completed with ``value``."""
+        self.waiting_value = False
+        self.value_producer = None
+        self._advance_program(value)
+
+    def _advance_program(self, value: int | None) -> None:
+        try:
+            if value is None and self.current is None and self.instructions_issued == 0:
+                self.current = next(self.program)
+            else:
+                self.current = self.program.send(value)
+        except StopIteration:
+            self.current = None
+            self.finished = True
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Has work and is not parked at a barrier."""
+        return not self.finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Warp(sm=%d tb=%d w=%d cur=%r)" % (
+            self.ctx.sm_id,
+            self.ctx.tb_id,
+            self.ctx.warp_index,
+            self.current,
+        )

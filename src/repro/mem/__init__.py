@@ -1,0 +1,30 @@
+"""Memory hierarchy: L1s, store buffers, MSHRs, L2, DRAM, scratchpad,
+DMA engine, stash, and the coherence protocols."""
+
+from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.dma import DmaEngine, DmaTransfer
+from repro.mem.l1 import L1Controller
+from repro.mem.l2 import L2Cache
+from repro.mem.main_memory import Dram, GlobalMemory
+from repro.mem.mshr import Mshr
+from repro.mem.scratchpad import Scratchpad
+from repro.mem.stash import Stash, StashMapping
+from repro.mem.store_buffer import SbEntry, SbEntryState, StoreBuffer
+
+__all__ = [
+    "DmaEngine",
+    "DmaTransfer",
+    "Dram",
+    "GlobalMemory",
+    "L1Controller",
+    "L2Cache",
+    "LineState",
+    "Mshr",
+    "SbEntry",
+    "SbEntryState",
+    "Scratchpad",
+    "SetAssocCache",
+    "Stash",
+    "StashMapping",
+    "StoreBuffer",
+]

@@ -1,0 +1,22 @@
+"""Coherence protocols for the GPU L1 caches."""
+
+from repro.mem.coherence.base import CoherenceProtocol
+from repro.mem.coherence.denovo import DeNovoCoherence
+from repro.mem.coherence.gpu_coherence import GpuCoherence
+from repro.sim.config import Protocol
+
+__all__ = [
+    "CoherenceProtocol",
+    "DeNovoCoherence",
+    "GpuCoherence",
+    "make_protocol",
+]
+
+
+def make_protocol(kind: Protocol) -> CoherenceProtocol:
+    """Instantiate the protocol selected by a :class:`SystemConfig`."""
+    if kind is Protocol.GPU_COHERENCE:
+        return GpuCoherence()
+    if kind is Protocol.DENOVO:
+        return DeNovoCoherence()
+    raise ValueError("unknown protocol %r" % (kind,))

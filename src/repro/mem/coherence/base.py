@@ -1,0 +1,52 @@
+"""Coherence protocol policy objects.
+
+The L1 controller is protocol-agnostic; everything protocol-specific is a
+small policy decision answered by one of these objects:
+
+* what happens to the L1 on an acquire (self-invalidation scope),
+* how a buffered store drains (write-through data vs. ownership request),
+* whether a store to a line already held in the right state completes
+  locally, and
+* how a fill is installed.
+
+Both protocols of the paper self-invalidate on acquires and flush the store
+buffer on releases (Section 6.1.1); they differ in ownership.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.mem.cache import LineState, SetAssocCache
+from repro.noc.message import MsgType
+
+
+class CoherenceProtocol(abc.ABC):
+    """Strategy object consulted by :class:`repro.mem.l1.L1Controller`."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def keeps_owned_on_acquire(self) -> bool:
+        """Do registered lines survive acquire self-invalidation?"""
+
+    @abc.abstractmethod
+    def store_completes_locally(self, l1: SetAssocCache, line: int) -> bool:
+        """Can a store to ``line`` complete without any network traffic?"""
+
+    @abc.abstractmethod
+    def drain_message_type(self) -> MsgType:
+        """Message a draining store-buffer entry turns into."""
+
+    @abc.abstractmethod
+    def state_after_store_ack(self) -> LineState | None:
+        """L1 state installed when a drained store is acknowledged
+        (``None`` means do not allocate the line in the L1)."""
+
+    @abc.abstractmethod
+    def fill_state(self) -> LineState:
+        """L1 state installed by a load fill."""
+
+    def needs_eviction_writeback(self, state: LineState) -> bool:
+        """Must an evicted line in ``state`` be written back to the L2?"""
+        return state is LineState.OWNED

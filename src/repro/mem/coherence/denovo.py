@@ -1,0 +1,55 @@
+"""DeNovo coherence for GPU L1 caches.
+
+The hybrid hardware-software protocol the paper's first case study evaluates
+(Section 6.1.1): caches self-invalidate on acquires like GPU coherence, but
+written data is *registered* -- the writer obtains ownership from the L2
+directory and keeps the only up-to-date copy in its L1.
+
+Consequences modelled here and visible in the GSI breakdowns:
+
+* owned lines survive acquire self-invalidation, so data written by an SM
+  stays reusable across synchronization points (fewer L2 memory-data
+  stalls);
+* a store to a line the SM already owns completes locally, so release-time
+  store-buffer flushes are cheap (fewer pending-release structural stalls);
+* a load to a line owned elsewhere takes an extra hop through the owner
+  (the remote-L1 memory-data stall sub-class), and an ownership request to
+  a registered line pays a transfer -- the protocol's overhead side, which
+  dominates when producer/consumer locality is poor (original UTS).
+
+Registration granularity: the original DeNovo registers words; we register
+whole lines.  The case-study workloads lay synchronization variables and
+task data in distinct lines, so no false-sharing artifacts are introduced
+(documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.coherence.base import CoherenceProtocol
+from repro.noc.message import MsgType
+
+
+class DeNovoCoherence(CoherenceProtocol):
+    name = "denovo"
+
+    def keeps_owned_on_acquire(self) -> bool:
+        # Registered (owned) data cannot be stale: keep it.
+        return True
+
+    def store_completes_locally(self, l1: SetAssocCache, line: int) -> bool:
+        # Already registered: the write needs no network traffic at all.
+        return l1.state_of(line) is LineState.OWNED
+
+    def drain_message_type(self) -> MsgType:
+        return MsgType.GETO
+
+    def state_after_store_ack(self) -> LineState | None:
+        # Registration installs the line as owned in the writer's L1.
+        return LineState.OWNED
+
+    def fill_state(self) -> LineState:
+        return LineState.VALID
+
+    def needs_eviction_writeback(self, state: LineState) -> bool:
+        return state is LineState.OWNED

@@ -1,0 +1,42 @@
+"""Conventional GPU coherence (the paper's baseline protocol).
+
+A simple software-driven protocol in the style of modern GPUs
+(Section 6.1.1): reader-initiated invalidation -- an acquire invalidates the
+*entire* L1 so later reads cannot observe stale values -- and writes are
+written through to the shared L2 rather than obtaining ownership, so a
+release must flush every buffered write.  Cheap for streaming kernels that
+synchronize only at kernel boundaries; wasteful under frequent
+synchronization, which is exactly what the UTS case study exposes.
+"""
+
+from __future__ import annotations
+
+from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.coherence.base import CoherenceProtocol
+from repro.noc.message import MsgType
+
+
+class GpuCoherence(CoherenceProtocol):
+    name = "gpu"
+
+    def keeps_owned_on_acquire(self) -> bool:
+        # Acquire invalidates everything: no ownership exists.
+        return False
+
+    def store_completes_locally(self, l1: SetAssocCache, line: int) -> bool:
+        # Write-through: every store must reach the L2.
+        return False
+
+    def drain_message_type(self) -> MsgType:
+        return MsgType.PUT_WT
+
+    def state_after_store_ack(self) -> LineState | None:
+        # Write-through, write-no-allocate: the L1 is not filled by stores.
+        return None
+
+    def fill_state(self) -> LineState:
+        return LineState.VALID
+
+    def needs_eviction_writeback(self, state: LineState) -> bool:
+        # Nothing dirty ever lives in the L1.
+        return False

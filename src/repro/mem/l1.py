@@ -1,0 +1,347 @@
+"""Per-core L1 controller: cache + MSHR + write-combining store buffer.
+
+This is the component GSI watches most closely.  Every load completion is
+labelled with a :class:`ServiceLocation` (L1 / L1-coalescing / L2 /
+remote-L1 / main memory) so memory *data* stalls can be sub-classified, and
+every resource rejection surfaces as a :class:`MemStructCause` through the
+LSU so memory *structural* stalls can be sub-classified.
+
+Protocol-specific behaviour is delegated to a
+:class:`~repro.mem.coherence.base.CoherenceProtocol` policy object; the
+controller itself only knows the mechanics: look up, miss, merge, drain,
+fill, evict, forward.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.stall_types import ServiceLocation
+from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.coherence.base import CoherenceProtocol
+from repro.mem.main_memory import GlobalMemory
+from repro.mem.mshr import Mshr
+from repro.mem.store_buffer import SbEntry, StoreBuffer
+from repro.noc.mesh import Mesh
+from repro.noc.message import Message, MsgType, next_request_id
+from repro.sim.config import SystemConfig
+
+LoadCallback = Callable[[ServiceLocation, int], None]  # (where, req_id)
+
+
+class L1Controller:
+    """L1 complex of one core (SM or CPU)."""
+
+    def __init__(
+        self,
+        node: int,
+        config: SystemConfig,
+        mesh: Mesh,
+        l2_node_of_line: Callable[[int], int],
+        protocol: CoherenceProtocol,
+        memory: GlobalMemory,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.mesh = mesh
+        self.engine = mesh.engine
+        self.l2_node_of_line = l2_node_of_line
+        self.protocol = protocol
+        self.memory = memory
+        self.cache = SetAssocCache(config.l1_sets, config.l1_assoc)
+        self.mshr = Mshr(config.mshr_entries)
+        self.store_buffer = StoreBuffer(
+            config.store_buffer_entries,
+            issue_fn=self._issue_sb_entry,
+            write_combining=config.write_combining,
+        )
+        self._drain_scheduled = False
+        #: owned lines evicted but whose writeback ack is still in flight;
+        #: forwards are serviced from here to avoid protocol races.
+        self.wb_pending: set[int] = set()
+        #: notified whenever an MSHR entry or store-buffer slot frees up.
+        #: Resource *consumers* (the DMA engine refilling the MSHR) register
+        #: ahead of the SM's wake so the issue stage observes post-refill
+        #: state, as it would when ticking every cycle.
+        self.resource_freed_hooks: list = []
+        #: req_id -> (callback, bypass_l1) for loads in flight.
+        self._load_waiters: dict[int, tuple[LoadCallback, bool]] = {}
+        #: req_id -> callback for atomic responses.
+        self._atomic_waiters: dict[int, Callable[[int], None]] = {}
+        # statistics
+        self.load_hits = 0
+        self.load_misses = 0
+        self.stores = 0
+        self.local_store_hits = 0
+        self.acquires = 0
+        self.releases = 0
+        self.lines_self_invalidated = 0
+        self.remote_serves = 0
+        self.race_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Load path
+    # ------------------------------------------------------------------
+    def load_line(
+        self,
+        line: int,
+        on_done: LoadCallback,
+        bypass_l1: bool = False,
+    ) -> None:
+        """Request ``line``; ``on_done(service_loc, req_id)`` fires when the
+        data is available.  ``bypass_l1`` fills skip the cache (DMA/stash).
+
+        The caller (LSU / DMA engine / stash) is responsible for checking
+        MSHR capacity *before* calling -- that is where the structural stall
+        is classified.
+        """
+        if not bypass_l1 and self.cache.lookup(line) is not None:
+            self.load_hits += 1
+            self.engine.schedule(
+                self.config.l1_hit_latency,
+                lambda: on_done(ServiceLocation.L1, -1),
+            )
+            return
+        self.load_misses += 1
+        existing = self.mshr.lookup(line)
+        if existing is not None:
+            # Secondary miss: satisfied by the primary's response
+            # ("L1 coalescing" in the paper's taxonomy).
+            self.mshr.merge(line, on_done)
+            return
+        req_id = next_request_id()
+        entry = self.mshr.allocate(line, req_id, now=self.engine.now)
+        entry.waiters.append(on_done)
+        self._load_waiters[req_id] = (on_done, bypass_l1)
+        self.mesh.send(
+            Message(
+                mtype=MsgType.GETS,
+                src=self.node,
+                dst=self.l2_node_of_line(line),
+                line=line,
+                req_id=req_id,
+                bypass_l1=bypass_l1,
+            )
+        )
+
+    def mshr_can_allocate(self, line: int) -> bool:
+        """Room for a load to ``line`` (full MSHRs still accept merges)."""
+        return self.mshr.lookup(line) is not None or not self.mshr.is_full()
+
+    # ------------------------------------------------------------------
+    # Store path
+    # ------------------------------------------------------------------
+    def can_accept_store(self, line: int) -> bool:
+        if self.protocol.store_completes_locally(self.cache, line):
+            return True
+        return self.store_buffer.can_accept(line)
+
+    def can_accept_stores(self, lines: list[int]) -> bool:
+        """Aggregate admission check for a multi-line store instruction."""
+        need = 0
+        for line in lines:
+            if self.protocol.store_completes_locally(self.cache, line):
+                continue
+            if self.store_buffer.has_combinable_entry(line):
+                continue
+            need += 1
+        return need <= self.store_buffer.capacity - self.store_buffer.occupancy
+
+    def store_line(self, line: int, words: set[int] | None = None) -> None:
+        """Buffer a store to ``line``.  Caller checks :meth:`can_accept_store`."""
+        self.stores += 1
+        if self.protocol.store_completes_locally(self.cache, line):
+            # DeNovo: the line is already registered here; done.
+            self.local_store_hits += 1
+            self.cache.lookup(line)  # refresh LRU
+            return
+        self.store_buffer.write(line, words)
+        self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        self.engine.schedule(self.store_buffer.drain_interval, self._drain_tick)
+
+    def _drain_tick(self) -> None:
+        self._drain_scheduled = False
+        self.store_buffer.drain_one()
+        if self.store_buffer.has_pending():
+            self._schedule_drain()
+
+    def _issue_sb_entry(self, entry: SbEntry) -> None:
+        self.mesh.send(
+            Message(
+                mtype=self.protocol.drain_message_type(),
+                src=self.node,
+                dst=self.l2_node_of_line(entry.line),
+                line=entry.line,
+                meta=("sb", entry.seq),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def acquire_invalidate(self) -> int:
+        """Self-invalidate on acquire; returns lines dropped."""
+        self.acquires += 1
+        dropped = self.cache.invalidate_all(
+            keep_owned=self.protocol.keeps_owned_on_acquire()
+        )
+        self.lines_self_invalidated += dropped
+        return dropped
+
+    def flush_store_buffer(self, on_done: Callable[[], None]) -> None:
+        """Release-time flush: fire ``on_done`` when all writes are visible."""
+        self.releases += 1
+        self.store_buffer.flush(on_done)
+        if self.store_buffer.has_pending():
+            self._schedule_drain()
+
+    def sb_empty(self) -> bool:
+        return self.store_buffer.is_empty()
+
+    @property
+    def atomics_outstanding(self) -> int:
+        return len(self._atomic_waiters)
+
+    # ------------------------------------------------------------------
+    # Atomics (serviced at the L2)
+    # ------------------------------------------------------------------
+    def atomic(
+        self,
+        word_addr: int,
+        fn: Callable[[int], tuple[int, int]],
+        on_done: Callable[[int], None],
+    ) -> int:
+        line = self.config.line_of(word_addr)
+        req_id = next_request_id()
+        self._atomic_waiters[req_id] = on_done
+        self.mesh.send(
+            Message(
+                mtype=MsgType.ATOMIC,
+                src=self.node,
+                dst=self.l2_node_of_line(line),
+                line=line,
+                req_id=req_id,
+                word_addr=word_addr,
+                atomic_fn=fn,
+            )
+        )
+        return req_id
+
+    # ------------------------------------------------------------------
+    # Network-facing side
+    # ------------------------------------------------------------------
+    def handle_message(self, msg: Message) -> None:
+        if msg.mtype is MsgType.DATA:
+            self._handle_data(msg)
+        elif msg.mtype is MsgType.ACK:
+            self._handle_ack(msg)
+        elif msg.mtype is MsgType.FWD_GETS:
+            self._handle_fwd_gets(msg)
+        elif msg.mtype is MsgType.FWD_GETO:
+            self._handle_fwd_geto(msg)
+        else:
+            raise ValueError("L1 cannot handle %s" % msg.mtype)
+
+    def _handle_data(self, msg: Message) -> None:
+        if msg.req_id in self._atomic_waiters:
+            cb = self._atomic_waiters.pop(msg.req_id)
+            assert msg.value is not None
+            cb(msg.value)
+            return
+        waiter = self._load_waiters.pop(msg.req_id, None)
+        if waiter is None:
+            return  # stale response (e.g. cancelled requester); drop
+        _, bypass = waiter
+        entry = self.mshr.complete(msg.line)
+        if not bypass:
+            self._install_fill(msg.line, self.protocol.fill_state())
+        loc = msg.service_loc or ServiceLocation.L2
+        for hook in self.resource_freed_hooks:
+            hook()  # an MSHR entry just freed
+        for cb in entry.waiters:
+            cb(loc, msg.req_id)
+        for cb in entry.merged_waiters:
+            cb(ServiceLocation.L1_COALESCE, msg.req_id)
+
+    def _install_fill(self, line: int, state: LineState) -> None:
+        victim = self.cache.insert(line, state)
+        if victim is not None:
+            self._evict(*victim)
+
+    def _evict(self, line: int, state: LineState) -> None:
+        if not self.protocol.needs_eviction_writeback(state):
+            return
+        self.wb_pending.add(line)
+        self.mesh.send(
+            Message(
+                mtype=MsgType.WB_OWNED,
+                src=self.node,
+                dst=self.l2_node_of_line(line),
+                line=line,
+                meta=("wb", line),
+            )
+        )
+
+    def _handle_ack(self, msg: Message) -> None:
+        meta = msg.meta
+        if isinstance(meta, tuple) and meta and meta[0] == "sb":
+            new_state = self.protocol.state_after_store_ack()
+            if new_state is not None:
+                self._install_fill(msg.line, new_state)
+            self.store_buffer.ack(msg.line, seq=meta[1])
+            for hook in self.resource_freed_hooks:
+                hook()  # a store-buffer slot just freed
+        elif isinstance(meta, tuple) and meta and meta[0] == "wb":
+            self.wb_pending.discard(msg.line)
+        # other acks carry no L1-side state
+
+    def _handle_fwd_gets(self, msg: Message) -> None:
+        """The L2 believes we own ``msg.line``: respond to the requester."""
+        assert msg.requester is not None
+        state = self.cache.state_of(msg.line)
+        if state is not LineState.OWNED and msg.line not in self.wb_pending:
+            # Raced with an eviction already acknowledged at the L2;
+            # functionally harmless (GlobalMemory is authoritative).
+            self.race_fallbacks += 1
+        self.remote_serves += 1
+        delay = self.config.remote_fwd_latency
+        self.engine.schedule(
+            delay,
+            lambda: self.mesh.send(
+                Message(
+                    mtype=MsgType.DATA,
+                    src=self.node,
+                    dst=msg.requester,
+                    line=msg.line,
+                    req_id=msg.req_id,
+                    service_loc=ServiceLocation.REMOTE_L1,
+                    bypass_l1=msg.bypass_l1,
+                    meta=msg.meta,
+                )
+            ),
+        )
+
+    def _handle_fwd_geto(self, msg: Message) -> None:
+        """Ownership transferred away (or recalled): drop the line."""
+        self.cache.invalidate(msg.line)
+        self.wb_pending.discard(msg.line)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "load_hits": self.load_hits,
+            "load_misses": self.load_misses,
+            "stores": self.stores,
+            "local_store_hits": self.local_store_hits,
+            "acquires": self.acquires,
+            "releases": self.releases,
+            "self_invalidated_lines": self.lines_self_invalidated,
+            "remote_serves": self.remote_serves,
+            "mshr_merges": self.mshr.merges,
+            "sb_combines": self.store_buffer.combines,
+        }

@@ -1,0 +1,85 @@
+"""Miss Status Holding Registers.
+
+A 32-entry MSHR (Table 5.1) tracks outstanding misses per line.  A second
+miss to a line that already has an entry *merges* instead of allocating;
+when the response arrives the merged requesters are serviced by the same
+fill, which is exactly the paper's "L1 coalescing" memory-data stall
+sub-class (Section 4.3).
+
+When the MSHR is full the LSU rejects memory instructions, producing the
+"full MSHR" memory structural stall sub-class (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class MshrEntry:
+    line: int
+    req_id: int
+    #: consumers to notify on fill; each is opaque to the MSHR.
+    waiters: list[Any] = field(default_factory=list)
+    #: waiters added after the primary miss (serviced by coalescing).
+    merged_waiters: list[Any] = field(default_factory=list)
+    allocated_at: int = 0
+
+
+class Mshr:
+    """Per-SM miss tracking with merge (secondary-miss coalescing)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR needs at least one entry")
+        self.capacity = capacity
+        self._entries: dict[int, MshrEntry] = {}
+        # statistics
+        self.allocations = 0
+        self.merges = 0
+        self.full_rejections = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line: int) -> MshrEntry | None:
+        return self._entries.get(line)
+
+    def allocate(self, line: int, req_id: int, now: int = 0) -> MshrEntry:
+        """Allocate a primary-miss entry.  Caller must check :meth:`is_full`."""
+        if line in self._entries:
+            raise ValueError("line %#x already has an MSHR entry" % line)
+        if self.is_full():
+            raise RuntimeError("MSHR overflow")
+        entry = MshrEntry(line=line, req_id=req_id, allocated_at=now)
+        self._entries[line] = entry
+        self.allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def merge(self, line: int, waiter: Any) -> MshrEntry:
+        """Attach a secondary miss to an existing entry."""
+        entry = self._entries[line]
+        entry.merged_waiters.append(waiter)
+        self.merges += 1
+        return entry
+
+    def complete(self, line: int) -> MshrEntry:
+        """Retire the entry for ``line`` (response arrived)."""
+        entry = self._entries.pop(line, None)
+        if entry is None:
+            raise KeyError("no MSHR entry for line %#x" % line)
+        return entry
+
+    def note_rejection(self) -> None:
+        self.full_rejections += 1
+
+    def outstanding_lines(self) -> list[int]:
+        return list(self._entries.keys())

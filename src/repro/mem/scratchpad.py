@@ -1,0 +1,64 @@
+"""Scratchpad memory: directly addressed, private to a thread block.
+
+The baseline local memory of the second case study (Section 6.2.1): 16 KB,
+32 banks, 1-cycle access (Table 5.1).  It is not coherent -- data must be
+explicitly copied in with load/store pairs (baseline), by a DMA engine
+(scratchpad+DMA), or implicitly by the stash.
+
+Bank conflicts: a warp access whose lanes map to the same bank more than
+once serializes, occupying the LSU for the extra cycles -- that occupancy is
+what the "bank conflict" memory structural stall sub-class measures.
+"""
+
+from __future__ import annotations
+
+
+class Scratchpad:
+    """Functional storage plus bank-conflict accounting for one SM."""
+
+    WORD = 4
+
+    def __init__(self, size: int, banks: int, hit_latency: int = 1) -> None:
+        if size % (banks * self.WORD):
+            raise ValueError("scratchpad size must divide evenly across banks")
+        self.size = size
+        self.banks = banks
+        self.hit_latency = hit_latency
+        self._words: dict[int, int] = {}
+        # statistics
+        self.accesses = 0
+        self.conflict_cycles = 0
+
+    # ------------------------------------------------------------------
+    def bank_of(self, addr: int) -> int:
+        return (addr // self.WORD) % self.banks
+
+    def conflict_degree(self, addrs: list[int]) -> int:
+        """Max accesses landing in one bank (1 = conflict free)."""
+        if not addrs:
+            return 1
+        counts: dict[int, int] = {}
+        for a in addrs:
+            b = self.bank_of(a)
+            counts[b] = counts.get(b, 0) + 1
+        return max(counts.values())
+
+    def access_cycles(self, addrs: list[int]) -> int:
+        """Cycles the access occupies a scratchpad port (serialization)."""
+        degree = self.conflict_degree(addrs)
+        self.accesses += 1
+        self.conflict_cycles += degree - 1
+        return self.hit_latency + (degree - 1)
+
+    # ------------------------------------------------------------------
+    def load_word(self, addr: int) -> int:
+        self._check(addr)
+        return self._words.get(addr & ~0x3, 0)
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._check(addr)
+        self._words[addr & ~0x3] = value
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.size:
+            raise ValueError("scratchpad address %#x out of range" % addr)

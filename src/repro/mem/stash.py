@@ -1,0 +1,233 @@
+"""Stash: a scratchpad that is part of the coherent global address space.
+
+The second innovation of the paper's second case study (Section 6.2.1,
+after Komuravelli et al.).  A *stash map* records the mapping between local
+stash addresses and global addresses.  The first access to a mapped address
+generates a global request; the returned data bypasses the L1 and lands
+directly in the stash, so subsequent accesses hit locally without
+translation.  Dirty stash data is globally visible and can be written back
+*lazily* -- we model laziness as a writeback queue drained through the store
+buffer when a warp finishes its chunk.
+
+Compared to scratchpad+DMA, on-demand fills mean a load blocks only the warp
+that needs the data (warp granularity vs. the DMA's core granularity), which
+is exactly why the paper finds stash utilizes the core better as MSHR size
+grows (Section 6.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.stall_types import ServiceLocation
+from repro.mem.l1 import L1Controller
+from repro.mem.scratchpad import Scratchpad
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+
+
+@dataclass
+class StashMapping:
+    """One contiguous stash<->global mapping (a stash map entry)."""
+
+    scratch_base: int
+    global_base: int
+    size: int
+
+    def contains(self, scratch_addr: int) -> bool:
+        return self.scratch_base <= scratch_addr < self.scratch_base + self.size
+
+    def to_global(self, scratch_addr: int) -> int:
+        return self.global_base + (scratch_addr - self.scratch_base)
+
+
+class Stash:
+    """Per-SM stash: storage, map, valid/dirty tracking, lazy writeback."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        engine: Engine,
+        l1: L1Controller,
+        storage: Scratchpad,
+    ) -> None:
+        self.config = config
+        self.engine = engine
+        self.l1 = l1
+        self.storage = storage
+        self._mappings: list[StashMapping] = []
+        #: local line index -> present
+        self._valid: set[int] = set()
+        self._dirty: set[int] = set()
+        #: local lines with a fill in flight -> callbacks to run on arrival
+        self._filling: dict[int, list[Callable[[ServiceLocation], None]]] = {}
+        self._wb_queue: list[tuple[int, StashMapping]] = []
+        self._wb_scheduled = False
+        self._wb_outstanding = 0
+        # statistics
+        self.hits = 0
+        self.fills = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    def map_region(self, scratch_base: int, global_base: int, size: int) -> None:
+        """Install a stash-map entry (no data movement happens here)."""
+        self._mappings.append(StashMapping(scratch_base, global_base, size))
+
+    def mapping_for(self, scratch_addr: int) -> StashMapping:
+        for m in self._mappings:
+            if m.contains(scratch_addr):
+                return m
+        raise KeyError("stash address %#x is not mapped" % scratch_addr)
+
+    # Backwards-compatible internal alias.
+    _mapping_for = mapping_for
+
+    def local_line(self, scratch_addr: int) -> int:
+        return scratch_addr >> self.config.offset_bits
+
+    def is_dirty(self, scratch_addr: int) -> bool:
+        return self.local_line(scratch_addr) in self._dirty
+
+    def global_line_of(self, scratch_addr: int) -> int:
+        return self.config.line_of(self.mapping_for(scratch_addr).to_global(scratch_addr))
+
+    # ------------------------------------------------------------------
+    def is_present(self, scratch_addr: int) -> bool:
+        return self.local_line(scratch_addr) in self._valid
+
+    def is_filling(self, scratch_addr: int) -> bool:
+        return self.local_line(scratch_addr) in self._filling
+
+    def can_fill(self, scratch_addr: int) -> bool:
+        """Is there MSHR room to generate the global request?"""
+        if self.is_present(scratch_addr) or self.is_filling(scratch_addr):
+            return True
+        gline = self.global_line_of(scratch_addr)
+        return self.l1.mshr_can_allocate(gline)
+
+    def fills_needed(self, addrs: list[int]) -> int:
+        """Fresh MSHR allocations a load of ``addrs`` would trigger."""
+        need = 0
+        seen: set[int] = set()
+        for a in addrs:
+            lline = self.local_line(a)
+            if lline in seen or lline in self._valid or lline in self._filling:
+                continue
+            seen.add(lline)
+            gline = self.global_line_of(a)
+            if self.l1.mshr.lookup(gline) is None:
+                need += 1
+        return need
+
+    def access_load(
+        self,
+        scratch_addr: int,
+        on_done: Callable[[ServiceLocation], None],
+    ) -> None:
+        """Load through the stash map; fills on first touch."""
+        lline = self.local_line(scratch_addr)
+        if lline in self._valid:
+            self.hits += 1
+            self.engine.schedule(
+                self.storage.hit_latency,
+                lambda: on_done(ServiceLocation.L1),
+            )
+            return
+        if lline in self._filling:
+            # Another lane/warp already generated the request; coalesce.
+            self._filling[lline].append(on_done)
+            return
+        mapping = self._mapping_for(scratch_addr)
+        gline = self.config.line_of(mapping.to_global(scratch_addr))
+        self._filling[lline] = [on_done]
+        self.l1.load_line(
+            gline,
+            lambda loc, rid, ll=lline, m=mapping: self._fill_done(ll, m, loc),
+            bypass_l1=True,
+        )
+
+    def _fill_done(
+        self, lline: int, mapping: StashMapping, loc: ServiceLocation
+    ) -> None:
+        # Functional copy: one line global -> stash storage.
+        base = lline << self.config.offset_bits
+        for w in range(0, self.config.line_size, 4):
+            saddr = base + w
+            if mapping.contains(saddr):
+                self.storage.store_word(saddr, self.l1.memory.load_word(mapping.to_global(saddr)))
+        self._valid.add(lline)
+        self.fills += 1
+        for cb in self._filling.pop(lline, []):
+            cb(loc)
+
+    # ------------------------------------------------------------------
+    def access_store(self, scratch_addr: int) -> None:
+        """Store into the stash; data becomes dirty and lazily written back."""
+        lline = self.local_line(scratch_addr)
+        self._valid.add(lline)
+        self._dirty.add(lline)
+
+    def writeback_dirty_range(self, scratch_base: int, size: int) -> None:
+        """Queue the dirty lines of a finished chunk for lazy writeback.
+
+        The mapping is captured with each queued line so the region can be
+        released (re-mapped by the next thread block) while the writebacks
+        are still draining.
+        """
+        first = self.local_line(scratch_base)
+        last = self.local_line(scratch_base + size - 1)
+        for lline in range(first, last + 1):
+            if lline in self._dirty:
+                self._dirty.discard(lline)
+                base = lline << self.config.offset_bits
+                mapping = next((m for m in self._mappings if m.contains(base)), None)
+                if mapping is not None:
+                    self._wb_queue.append((lline, mapping))
+        self._schedule_wb()
+
+    def release_region(self, scratch_base: int, size: int) -> None:
+        """End of a chunk's lifetime: lazily write back dirty lines, then
+        drop the mapping and valid bits so the next thread block can reuse
+        the stash space."""
+        self.writeback_dirty_range(scratch_base, size)
+        first = self.local_line(scratch_base)
+        last = self.local_line(scratch_base + size - 1)
+        for lline in range(first, last + 1):
+            self._valid.discard(lline)
+        self._mappings = [
+            m
+            for m in self._mappings
+            if not (scratch_base <= m.scratch_base and m.scratch_base + m.size <= scratch_base + size)
+        ]
+
+    def _schedule_wb(self) -> None:
+        if self._wb_scheduled or not self._wb_queue:
+            return
+        self._wb_scheduled = True
+        self.engine.schedule(1, self._wb_tick)
+
+    def _wb_tick(self) -> None:
+        self._wb_scheduled = False
+        if not self._wb_queue:
+            return
+        lline, mapping = self._wb_queue[0]
+        base = lline << self.config.offset_bits
+        gline = self.config.line_of(mapping.to_global(base))
+        if not self.l1.can_accept_store(gline):
+            # Store buffer full: retry; running warps see SB-full pressure.
+            self._schedule_wb()
+            return
+        self._wb_queue.pop(0)
+        # Functional copy stash -> global, then the timing write.
+        for w in range(0, self.config.line_size, 4):
+            saddr = base + w
+            if mapping.contains(saddr):
+                self.l1.memory.store_word(mapping.to_global(saddr), self.storage.load_word(saddr))
+        self.l1.store_line(gline)
+        self.writebacks += 1
+        self._schedule_wb()
+
+    def writeback_idle(self) -> bool:
+        return not self._wb_queue

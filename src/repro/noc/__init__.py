@@ -1,0 +1,6 @@
+"""On-chip interconnect: XY-routed mesh and message vocabulary."""
+
+from repro.noc.mesh import Mesh
+from repro.noc.message import Message, MsgType, next_request_id
+
+__all__ = ["Mesh", "Message", "MsgType", "next_request_id"]

@@ -1,0 +1,71 @@
+"""Messages exchanged over the on-chip network.
+
+The protocol vocabulary covers both coherence protocols of the paper:
+
+* GPU coherence needs ``GETS`` (read), ``PUT_WT`` (write-through data) and
+  ``ATOMIC`` (read-modify-write at the L2).
+* DeNovo adds ``GETO`` (ownership registration), ``WB_OWNED`` (eviction of
+  an owned line) and the L2-to-owner forwards ``FWD_GETS`` / ``FWD_GETO``.
+* The DMA engine and the stash reuse ``GETS``/``PUT_WT`` with the
+  ``bypass_l1`` flag set, because their fills skip the L1 (Section 6.2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.stall_types import ServiceLocation
+
+
+class MsgType(enum.Enum):
+    GETS = "gets"                # load request
+    PUT_WT = "put_wt"            # write-through store data
+    GETO = "geto"                # DeNovo ownership (registration) request
+    WB_OWNED = "wb_owned"        # writeback of an owned line on eviction
+    ATOMIC = "atomic"            # read-modify-write serviced at the L2
+    FWD_GETS = "fwd_gets"        # L2 forwards a load to the current owner
+    FWD_GETO = "fwd_geto"        # L2 transfers ownership away from owner
+    DATA = "data"                # data response
+    ACK = "ack"                  # write-through / writeback / own ack
+
+
+_request_ids = itertools.count()
+
+
+def next_request_id() -> int:
+    return next(_request_ids)
+
+
+@dataclass
+class Message:
+    """A single network message.
+
+    ``on_response`` is carried by requests so the servicing node can reply
+    without a global table; ``service_loc`` is filled in by whoever supplies
+    the data and drives memory-data stall sub-classification.
+    """
+
+    mtype: MsgType
+    src: int
+    dst: int
+    line: int
+    req_id: int = field(default_factory=next_request_id)
+    requester: int | None = None      # original requester (for forwards)
+    value: int | None = None          # atomic result / payload
+    service_loc: ServiceLocation | None = None
+    atomic_fn: Callable[[int], tuple[int, int]] | None = None
+    word_addr: int | None = None      # word address for atomics
+    bypass_l1: bool = False           # DMA / stash fills skip the L1
+    meta: Any = None                  # opaque per-subsystem payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Message(%s, %d->%d, line=%#x, req=%d)" % (
+            self.mtype.value,
+            self.src,
+            self.dst,
+            self.line,
+            self.req_id,
+        )

@@ -1,0 +1,6 @@
+"""Simulation kernel: clock/event engine and system configuration."""
+
+from repro.sim.config import LocalMemory, Protocol, SystemConfig
+from repro.sim.engine import Engine
+
+__all__ = ["Engine", "LocalMemory", "Protocol", "SystemConfig"]

@@ -1,0 +1,191 @@
+"""System configuration for the simulated tightly coupled CPU-GPU system.
+
+The defaults mirror Table 5.1 of the paper: 1 CPU core and 15 GPU SMs on a
+4x4 mesh, private L1s, a banked NUCA L2 shared by all cores, a 32-entry MSHR
+and a 32-entry write-combining store buffer per SM, and a 16 KB scratchpad or
+stash with 32 banks.
+
+Latencies are expressed in GPU cycles.  The paper reports latency *ranges*
+(L2 hit 29-61 cycles, memory 197-261 cycles, remote L1 35-83 cycles) because
+the L2 is NUCA and costs depend on mesh distance; here the ranges emerge from
+the hop count between the requesting core and the home L2 bank.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class Protocol(enum.Enum):
+    """GPU L1 coherence protocol selector."""
+
+    GPU_COHERENCE = "gpu"
+    DENOVO = "denovo"
+
+
+class LocalMemory(enum.Enum):
+    """Local memory organization used by a kernel (second case study)."""
+
+    NONE = "none"
+    SCRATCHPAD = "scratchpad"
+    SCRATCHPAD_DMA = "scratchpad_dma"
+    STASH = "stash"
+
+
+@dataclass
+class SystemConfig:
+    """All architectural parameters of the simulated system.
+
+    Instances are plain dataclasses: tweak fields and pass the config to
+    :class:`repro.system.System`.  Use :meth:`scaled` to derive sweeps.
+    """
+
+    # --- topology (Table 5.1) -------------------------------------------
+    num_sms: int = 15
+    num_cpus: int = 1
+    mesh_rows: int = 4
+    mesh_cols: int = 4
+
+    # --- clocks ----------------------------------------------------------
+    gpu_freq_ghz: float = 0.7
+    cpu_freq_ghz: float = 2.0
+
+    # --- SM core ---------------------------------------------------------
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    issue_width: int = 1
+    alu_latency: int = 4
+    sfu_latency: int = 16
+    sfu_initiation_interval: int = 8
+
+    # --- memory hierarchy (Table 5.1) -------------------------------------
+    line_size: int = 64
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 8
+    l1_banks: int = 8
+    l1_hit_latency: int = 1
+    l2_size: int = 4 * 1024 * 1024
+    l2_assoc: int = 16
+    l2_banks: int = 16
+    l2_access_latency: int = 23
+    #: directory/tag lookup portion of an L2 access: forwards and write
+    #: acks leave the bank after this; data responses pay the full access
+    l2_dir_latency: int = 8
+    #: owner-side service time for a forwarded request (L1 tag + data read
+    #: + response injection); tuned so the emergent remote-L1 range matches
+    #: Table 5.1's 35-83 cycles
+    remote_fwd_latency: int = 12
+    dram_latency: int = 170
+    dram_channels: int = 4
+    mshr_entries: int = 32
+    store_buffer_entries: int = 32
+
+    # --- scratchpad / stash (Table 5.1) -----------------------------------
+    scratchpad_size: int = 16 * 1024
+    scratchpad_banks: int = 32
+    scratchpad_hit_latency: int = 1
+    dma_issue_interval: int = 1
+
+    # --- interconnect ------------------------------------------------------
+    hop_latency: int = 3
+    router_latency: int = 0
+    #: messages per cycle each node can inject/eject (NoC interface width)
+    mesh_endpoint_bw: int = 2
+
+    # --- protocol / local memory selection ---------------------------------
+    protocol: Protocol = Protocol.GPU_COHERENCE
+    local_memory: LocalMemory = LocalMemory.NONE
+
+    # --- extensions (ablations) --------------------------------------------
+    # QuickRelease-style S-FIFO: releases do not block subsequent memory
+    # instructions from issuing to the LSU (Section 6.1.4 suggestion).
+    sfifo_release: bool = False
+    # Write combining in the store buffer (ablation; paper always uses it).
+    write_combining: bool = True
+    # Warp scheduler policy: "lrr" (loose round robin) or "gto"
+    # (greedy-then-oldest).
+    warp_scheduler: str = "lrr"
+    # Cycle attribution policy (ablation): "weak" is the paper's Algorithm 2;
+    # "strong" inverts to the strongest cause; "first" takes the first
+    # stalled warp in scheduler order.
+    attribution_policy: str = "weak"
+
+    # --- profiling -----------------------------------------------------------
+    gsi_enabled: bool = True
+    #: bucket size (cycles) for windowed stall timelines; None disables them
+    timeline_window: int | None = None
+
+    # --- run control -----------------------------------------------------------
+    max_cycles: int = 5_000_000
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.num_sms + self.num_cpus > self.mesh_rows * self.mesh_cols:
+            raise ValueError(
+                "mesh has %d nodes but %d cores requested"
+                % (self.mesh_rows * self.mesh_cols, self.num_sms + self.num_cpus)
+            )
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        if self.l1_size % (self.line_size * self.l1_assoc):
+            raise ValueError("l1_size must be a multiple of line_size * assoc")
+        if self.mshr_entries < 1 or self.store_buffer_entries < 1:
+            raise ValueError("mshr and store buffer need at least one entry")
+        if self.warp_scheduler not in ("lrr", "gto"):
+            raise ValueError("warp_scheduler must be 'lrr' or 'gto'")
+        if self.attribution_policy not in ("weak", "strong", "first"):
+            raise ValueError(
+                "attribution_policy must be 'weak', 'strong' or 'first'"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total mesh nodes."""
+        return self.mesh_rows * self.mesh_cols
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_size // (self.line_size * self.l1_assoc)
+
+    @property
+    def l2_sets_per_bank(self) -> int:
+        return self.l2_size // (self.line_size * self.l2_assoc * self.l2_banks)
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    def line_of(self, addr: int) -> int:
+        """Cache line (block) number containing byte address ``addr``."""
+        return addr >> self.offset_bits
+
+    def scaled(self, **overrides) -> "SystemConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    def table51_rows(self) -> list[tuple[str, str]]:
+        """Render the configuration as the rows of Table 5.1."""
+        return [
+            ("CPU frequency", "%.0f GHz" % self.cpu_freq_ghz),
+            ("CPU cores", str(self.num_cpus)),
+            ("GPU frequency", "%.0f MHz" % (self.gpu_freq_ghz * 1000)),
+            ("GPU SMs", str(self.num_sms)),
+            ("Scratchpad/stash size", "%d KB" % (self.scratchpad_size // 1024)),
+            ("Scratchpad/stash banks", str(self.scratchpad_banks)),
+            ("L1 hit latency", "%d cycle" % self.l1_hit_latency),
+            (
+                "L1 size",
+                "%d KB (%d banks, %d-way)"
+                % (self.l1_size // 1024, self.l1_banks, self.l1_assoc),
+            ),
+            (
+                "L2 size",
+                "%d MB (%d banks, NUCA)" % (self.l2_size // (1024 * 1024), self.l2_banks),
+            ),
+            ("L2 access latency", "%d cycles + hops" % self.l2_access_latency),
+            ("Memory latency", "%d cycles + hops" % self.dram_latency),
+            ("MSHR entries", str(self.mshr_entries)),
+            ("Store buffer entries", str(self.store_buffer_entries)),
+        ]

@@ -1,0 +1,266 @@
+"""System assembly: the integrated, tightly coupled CPU-GPU simulator.
+
+Mirrors the methodology of Chapter 5: 1 CPU core and up to 15 GPU SMs
+uniformly distributed on a 4x4 mesh, a private L1 per core, a banked NUCA
+L2 shared by everyone (one bank per mesh node), atomics serviced at the L2,
+and a data-race-free consistency model expressed through acquire/release
+operations.  GSI hangs off the SMs' issue stages through
+:class:`repro.core.attribution.Inspector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.attribution import Inspector
+from repro.core.breakdown import StallBreakdown
+from repro.cpu.core import CpuCore
+from repro.gpu.kernel import Kernel
+from repro.gpu.sm import SM
+from repro.gpu.tb_scheduler import ThreadBlockScheduler
+from repro.mem.coherence import make_protocol
+from repro.mem.coherence.denovo import DeNovoCoherence
+from repro.mem.dma import DmaEngine
+from repro.mem.l1 import L1Controller
+from repro.mem.l2 import L2Cache
+from repro.mem.main_memory import Dram, GlobalMemory
+from repro.mem.scratchpad import Scratchpad
+from repro.mem.stash import Stash
+from repro.noc.mesh import Mesh
+from repro.noc.message import Message, MsgType
+from repro.sim.config import LocalMemory, SystemConfig
+from repro.sim.engine import Engine
+
+_L2_REQUESTS = frozenset(
+    {MsgType.GETS, MsgType.PUT_WT, MsgType.GETO, MsgType.ATOMIC, MsgType.WB_OWNED}
+)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one kernel simulation."""
+
+    workload: str
+    config: SystemConfig
+    cycles: int
+    breakdown: StallBreakdown
+    per_sm: list[StallBreakdown]
+    instructions: int
+    stats: dict[str, dict] = field(default_factory=dict)
+    #: windowed stall timeline (None unless config.timeline_window is set)
+    timeline: object = None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> str:
+        from repro.core.report import summarize
+
+        return summarize(self.workload, self.breakdown)
+
+
+class System:
+    """A fully built simulated system ready to run one kernel."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.mesh = Mesh(
+            self.engine,
+            config.mesh_rows,
+            config.mesh_cols,
+            hop_latency=config.hop_latency,
+            router_latency=config.router_latency,
+            endpoint_bw=config.mesh_endpoint_bw,
+        )
+        self.memory = GlobalMemory()
+        self.dram = Dram(latency=config.dram_latency, channels=config.dram_channels)
+        self.l2 = L2Cache(config, self.mesh, self.memory, self.dram)
+        self.inspector = Inspector(
+            config.num_sms,
+            enabled=config.gsi_enabled,
+            timeline_window=config.timeline_window,
+        )
+        gpu_protocol = make_protocol(config.protocol)
+        cpu_protocol = DeNovoCoherence()  # the CPU cache always uses DeNovo
+
+        # Node placement: SMs at nodes 0..num_sms-1, CPUs from the top end.
+        self.sm_nodes = list(range(config.num_sms))
+        self.cpu_nodes = [
+            config.num_nodes - 1 - i for i in range(config.num_cpus)
+        ]
+        overlap = set(self.sm_nodes) & set(self.cpu_nodes)
+        if overlap:
+            raise ValueError("SM/CPU node placement overlaps: %s" % sorted(overlap))
+
+        self._l1_by_node: dict[int, L1Controller] = {}
+        self.sms: list[SM] = []
+        for sm_id, node in enumerate(self.sm_nodes):
+            l1 = L1Controller(
+                node, config, self.mesh, self.l2.node_of_line, gpu_protocol, self.memory
+            )
+            self._l1_by_node[node] = l1
+            scratchpad = dma = stash = None
+            if config.local_memory is not LocalMemory.NONE:
+                scratchpad = Scratchpad(
+                    config.scratchpad_size,
+                    config.scratchpad_banks,
+                    config.scratchpad_hit_latency,
+                )
+            if config.local_memory is LocalMemory.SCRATCHPAD_DMA:
+                dma = DmaEngine(config, self.engine, l1, scratchpad)
+            if config.local_memory is LocalMemory.STASH:
+                stash = Stash(config, self.engine, l1, scratchpad)
+            attribution = (
+                self.inspector.sm(sm_id) if config.gsi_enabled else None
+            )
+            sm = SM(
+                sm_id,
+                node,
+                config,
+                self.engine,
+                l1,
+                self.memory,
+                attribution,
+                scratchpad=scratchpad,
+                dma=dma,
+                stash=stash,
+            )
+            self.sms.append(sm)
+
+        self.cpus: list[CpuCore] = []
+        for cpu_id, node in enumerate(self.cpu_nodes):
+            l1 = L1Controller(
+                node, config, self.mesh, self.l2.node_of_line, cpu_protocol, self.memory
+            )
+            self._l1_by_node[node] = l1
+            self.cpus.append(CpuCore(cpu_id, node, l1))
+
+        for node in range(config.num_nodes):
+            self.mesh.attach(node, self._make_dispatcher(node))
+
+        self._teardown_started = False
+        self._teardown_flushes = 0
+
+    # ------------------------------------------------------------------
+    def _make_dispatcher(self, node: int):
+        def dispatch(msg: Message) -> None:
+            if msg.mtype in _L2_REQUESTS:
+                self.l2.handle_message(msg)
+                return
+            l1 = self._l1_by_node.get(node)
+            if l1 is None:
+                raise RuntimeError(
+                    "response %r delivered to core-less node %d" % (msg, node)
+                )
+            l1.handle_message(msg)
+
+        return dispatch
+
+    def sm_l1(self, sm_id: int) -> L1Controller:
+        return self.sms[sm_id].l1
+
+    # ------------------------------------------------------------------
+    def run(self, workload) -> SimResult:
+        """Build the workload's kernel, run it to completion, return GSI's
+        verdict.  ``workload`` follows :class:`repro.workloads.base.Workload`."""
+        kernel = workload.build(self)
+        return self.run_kernel(kernel, name=getattr(workload, "name", kernel.name))
+
+    def run_kernel(self, kernel: Kernel, name: str | None = None) -> SimResult:
+        limit = kernel.warps_per_sm_limit or self.config.max_warps_per_sm
+        scheduler = ThreadBlockScheduler(self.sms, kernel, limit)
+        scheduler.on_kernel_complete = self._begin_teardown
+        # Kernel launch is an acquire: GPU L1s self-invalidate.
+        for sm in self.sms:
+            sm.l1.acquire_invalidate()
+            sm.begin_idle()
+        scheduler.launch()
+        cycles = self.engine.run(self.config.max_cycles)
+        if scheduler.blocks_remaining or not self._teardown_started:
+            raise RuntimeError(
+                "simulation ran out of events with %d thread blocks "
+                "unfinished -- lost wake-up (simulator bug)"
+                % scheduler.blocks_remaining
+            )
+        for sm in self.sms:
+            sm.finalize(cycles)
+        self.inspector.finalize()
+        per_sm = self.inspector.per_sm_breakdowns()
+        breakdown = self.inspector.aggregate()
+        return SimResult(
+            workload=name or kernel.name,
+            config=self.config,
+            cycles=cycles,
+            breakdown=breakdown,
+            per_sm=per_sm,
+            instructions=sum(sm.instructions_issued for sm in self.sms),
+            stats=self.collect_stats(),
+            timeline=self.inspector.aggregate_timeline(),
+        )
+
+    # ------------------------------------------------------------------
+    def _begin_teardown(self) -> None:
+        """All thread blocks finished: flush store buffers (the paper's
+        end-of-kernel flush), drain DMA/stash, then stop the clock."""
+        if self._teardown_started:
+            return
+        self._teardown_started = True
+        self._teardown_flushes = len(self.sms)
+        for sm in self.sms:
+            sm.l1.flush_store_buffer(self._teardown_flush_done)
+        self._poll_quiesce()
+
+    def _teardown_flush_done(self) -> None:
+        self._teardown_flushes -= 1
+
+    def _quiesced(self) -> bool:
+        if self._teardown_flushes > 0:
+            return False
+        for sm in self.sms:
+            if not sm.l1.sb_empty():
+                return False
+            if sm.l1.atomics_outstanding:
+                return False
+            if sm.dma is not None and sm.dma.any_in_progress():
+                return False
+            if sm.stash is not None and not sm.stash.writeback_idle():
+                return False
+        return True
+
+    def _poll_quiesce(self) -> None:
+        if self._quiesced():
+            self.engine.stop()
+        else:
+            self.engine.schedule(5, self._poll_quiesce)
+
+    # ------------------------------------------------------------------
+    def collect_stats(self) -> dict[str, dict]:
+        stats = {
+            "mesh": self.mesh.stats(),
+            "l2": self.l2.stats(),
+            "dram": {"accesses": self.dram.accesses},
+            "l1": {
+                "sm%d" % sm.sm_id: sm.l1.stats() for sm in self.sms
+            },
+            "engine": {"events": self.engine.events_processed},
+        }
+        scratch = {
+            "sm%d" % sm.sm_id: {
+                "accesses": sm.scratchpad.accesses,
+                "conflict_cycles": sm.scratchpad.conflict_cycles,
+            }
+            for sm in self.sms
+            if sm.scratchpad is not None
+        }
+        if scratch:
+            stats["scratchpad"] = scratch
+        return stats
+
+
+def run_workload(config: SystemConfig, workload) -> SimResult:
+    """One-call convenience: configure, build, run."""
+    config = workload.configure(config) if hasattr(workload, "configure") else config
+    system = System(config)
+    return system.run(workload)

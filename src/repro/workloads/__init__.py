@@ -1,0 +1,5 @@
+"""Benchmark workloads: the paper's case studies plus synthetic kernels."""
+
+from repro.workloads.base import Workload
+
+__all__ = ["Workload"]

@@ -1,0 +1,45 @@
+"""Workload abstraction.
+
+A workload owns three things: configuration overrides (e.g. the implicit
+microbenchmark uses one SM, Chapter 5), functional setup of global memory
+(e.g. the UTS tree), and the kernel -- a grid of warp programs expressed as
+Python generators over :class:`~repro.gpu.instruction.Instruction`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.gpu.kernel import Kernel
+from repro.sim.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+class Workload(abc.ABC):
+    """Base class for all benchmark workloads."""
+
+    name: str = "workload"
+
+    def configure(self, config: SystemConfig) -> SystemConfig:
+        """Adjust the system configuration this workload requires."""
+        return config
+
+    @abc.abstractmethod
+    def build(self, system: "System") -> Kernel:
+        """Initialize functional memory and return the kernel to launch."""
+
+
+# Address-space layout shared by the bundled workloads.  Regions are spaced
+# far apart so synchronization variables, queue metadata and payload data
+# never share a cache line (which also keeps the line-granularity DeNovo
+# registration faithful to the word-granularity original).
+REGION_LOCKS = 0x0100_0000
+REGION_QUEUE_META = 0x0200_0000
+REGION_QUEUE_DATA = 0x0300_0000
+REGION_TREE = 0x0400_0000
+REGION_ARRAY = 0x0500_0000
+REGION_SCRATCH_OUT = 0x0600_0000
+REGION_COUNTERS = 0x0700_0000

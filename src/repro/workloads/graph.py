@@ -1,0 +1,189 @@
+"""Level-synchronized BFS over a random graph.
+
+An irregular-workload companion to UTS in the spirit of the Pannotia suite
+the paper cites as motivation ("emerging applications with frequent
+synchronization or irregular data accesses").  Each BFS level: warps grab
+vertex ranges of the current frontier with an atomic cursor, walk their
+vertices' adjacency lists (irregular, data-dependent loads), test-and-set
+the visited array, append discoveries to the next frontier with atomic
+reservations, then meet at a thread-block barrier before the level flips.
+
+Exercises: acquire-flavoured atomics under contention, irregular
+memory-data stalls (L2 / main memory / remote-L1 under DeNovo), and
+synchronization stalls from level barriers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import Kernel, WarpContext, uniform_grid
+from repro.sim.config import SystemConfig
+from repro.workloads.base import (
+    REGION_ARRAY,
+    REGION_COUNTERS,
+    REGION_QUEUE_DATA,
+    Workload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+_VERT_STRIDE = 64          # one line per vertex's metadata
+_ADJ_BASE = REGION_ARRAY + 0x40_0000
+
+
+def generate_graph(
+    num_vertices: int, avg_degree: float, seed: int
+) -> list[list[int]]:
+    """Random digraph with a connected BFS tree from vertex 0.
+
+    Every vertex i > 0 receives one guaranteed in-edge from a lower-numbered
+    vertex (so BFS from 0 reaches everything) plus Poisson-ish extra edges.
+    """
+    if num_vertices < 1:
+        raise ValueError("graph needs at least one vertex")
+    rng = random.Random(seed)
+    adj: list[list[int]] = [[] for _ in range(num_vertices)]
+    for v in range(1, num_vertices):
+        parent = rng.randrange(v)
+        adj[parent].append(v)
+    extra = int(num_vertices * max(0.0, avg_degree - 1.0))
+    for _ in range(extra):
+        src = rng.randrange(num_vertices)
+        dst = rng.randrange(num_vertices)
+        if dst != src:
+            adj[src].append(dst)
+    return adj
+
+
+class BfsWorkload(Workload):
+    """Frontier BFS; one thread block per SM, warps share the frontier."""
+
+    name = "bfs"
+
+    def __init__(
+        self,
+        num_vertices: int = 96,
+        avg_degree: float = 2.5,
+        warps_per_tb: int = 2,
+        graph_seed: int = 11,
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.avg_degree = avg_degree
+        self.warps_per_tb = warps_per_tb
+        self.adj = generate_graph(num_vertices, avg_degree, graph_seed)
+        self.levels_run = 0
+
+    # memory layout ------------------------------------------------------
+    def vertex_addr(self, v: int) -> int:
+        return REGION_ARRAY + v * _VERT_STRIDE
+
+    def adj_addr(self, v: int, i: int) -> int:
+        return _ADJ_BASE + (v * 64 + i) * 4
+
+    def frontier_addr(self, level: int, i: int) -> int:
+        return REGION_QUEUE_DATA + (level % 2) * 0x10_0000 + i * 4
+
+    @property
+    def cursor_addr(self) -> int:
+        return REGION_COUNTERS        # cursor into the current frontier
+
+    @property
+    def next_size_addr(self) -> int:
+        return REGION_COUNTERS + 0x100  # size of the next frontier
+
+    @property
+    def visited_addr(self) -> int:
+        return REGION_COUNTERS + 0x10_0000
+
+    # ------------------------------------------------------------------
+    def build(self, system: "System") -> Kernel:
+        mem = system.memory
+        # Seed: frontier 0 holds the root.
+        mem.store_word(self.frontier_addr(0, 0), 0)
+        mem.store_word(self.visited_addr + 0 * 4, 1)
+        adj = self.adj
+        wl = self
+
+        def factory(tb: int, w: int):
+            def program(ctx: WarpContext):
+                level = 0
+                frontier_size = 1
+                while frontier_size > 0:
+                    cursor_epoch = wl.cursor_addr + (level % 2) * 0x40
+                    next_size = wl.next_size_addr + (level % 2) * 0x40
+                    while True:
+                        idx = yield Instruction.atomic_add(
+                            cursor_epoch, 1, tag="grab"
+                        )
+                        if idx >= frontier_size:
+                            break
+                        v = yield Instruction.load(
+                            [wl.frontier_addr(level, idx)],
+                            dst=1,
+                            returns_value=True,
+                            tag="frontier",
+                        )
+                        # Touch the vertex payload (one line).
+                        yield Instruction.load([wl.vertex_addr(v)], dst=2)
+                        yield Instruction.alu(dst=3, srcs=(2,))
+                        for i, nbr in enumerate(adj[v]):
+                            # Irregular neighbour metadata read.
+                            yield Instruction.load(
+                                [wl.adj_addr(v, i)], dst=4, tag="edge"
+                            )
+                            old = yield Instruction.atomic_cas(
+                                wl.visited_addr + nbr * 4, 0, 1, tag="visit"
+                            )
+                            if old == 0:
+                                slot = yield Instruction.atomic_add(
+                                    next_size, 1, tag="reserve"
+                                )
+                                yield Instruction.store(
+                                    [wl.frontier_addr(level + 1, slot)],
+                                    value=nbr,
+                                    tag="emit",
+                                )
+                    # Level barrier: all warps of the block synchronize.
+                    yield Instruction.barrier()
+                    if ctx.warp_index == 0:
+                        # Read the next level's size, then reset counters
+                        # for the level after next (epoch trick avoids a
+                        # second barrier).
+                        size = yield Instruction.load(
+                            [next_size], dst=5, returns_value=True, tag="size"
+                        )
+                        yield Instruction.store(
+                            [wl.cursor_addr + ((level + 2) % 2) * 0x40],
+                            value=0,
+                        )
+                        yield Instruction.store(
+                            [wl.next_size_addr + ((level + 2) % 2) * 0x40],
+                            value=0,
+                        )
+                        # Publish to teammates through functional memory.
+                        yield Instruction.store(
+                            [wl.cursor_addr + 0x80 + (level % 2) * 0x40],
+                            value=size,
+                        )
+                    yield Instruction.barrier()
+                    frontier_size = ctx.peek_word(
+                        wl.cursor_addr + 0x80 + (level % 2) * 0x40
+                    )
+                    level += 1
+                    if level > wl.num_vertices:
+                        raise RuntimeError("BFS failed to converge")
+
+            return program
+
+        return uniform_grid(self.name, 1, self.warps_per_tb, factory)
+
+    def verify(self, system: "System") -> bool:
+        """All reachable vertices visited (BFS correctness)."""
+        return all(
+            system.memory.load_word(self.visited_addr + v * 4) == 1
+            for v in range(self.num_vertices)
+        )

@@ -1,0 +1,137 @@
+"""Parallel tree reduction.
+
+The textbook synchronization-bound kernel: each warp reduces its slice of
+an array into a partial sum, the partials are combined within the thread
+block across log2(warps) barrier rounds, and one warp per block publishes
+the block total with a single atomic.  GSI shows the workload shifting from
+memory-data-bound (the streaming phase) to synchronization-bound (the
+barrier tree) as slices shrink.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import Kernel, WarpContext, uniform_grid
+from repro.sim.config import SystemConfig
+from repro.workloads.base import REGION_ARRAY, REGION_COUNTERS, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+class ReductionWorkload(Workload):
+    """Sum-reduce ``elements_per_warp * warps * blocks`` words."""
+
+    name = "reduction"
+
+    def __init__(
+        self,
+        num_tbs: int = 4,
+        warps_per_tb: int = 4,
+        elements_per_warp: int = 64,
+    ) -> None:
+        if warps_per_tb & (warps_per_tb - 1):
+            raise ValueError("warps_per_tb must be a power of two")
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.elements_per_warp = elements_per_warp
+
+    @property
+    def total_addr(self) -> int:
+        return REGION_COUNTERS
+
+    def partial_addr(self, tb: int, w: int) -> int:
+        # one line per partial: no false sharing between warps
+        return REGION_COUNTERS + 0x1000 + (tb * self.warps_per_tb + w) * 64
+
+    def slice_base(self, cfg: SystemConfig, tb: int, w: int) -> int:
+        per_warp = self.elements_per_warp * cfg.warp_size * 4
+        return REGION_ARRAY + (tb * self.warps_per_tb + w) * per_warp
+
+    def expected_total(self, system: "System") -> int:
+        cfg = system.config
+        total = 0
+        for tb in range(self.num_tbs):
+            for w in range(self.warps_per_tb):
+                base = self.slice_base(cfg, tb, w)
+                for e in range(self.elements_per_warp * cfg.warp_size):
+                    total += system.memory.load_word(base + e * 4)
+        return total
+
+    # ------------------------------------------------------------------
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        wl = self
+        # Initialize the array and warm the L2 (produced by a prior kernel).
+        lines = []
+        for tb in range(self.num_tbs):
+            for w in range(self.warps_per_tb):
+                base = wl.slice_base(cfg, tb, w)
+                for e in range(self.elements_per_warp * cfg.warp_size):
+                    system.memory.store_word(base + e * 4, (e * 7 + w) & 0xFF)
+                lines.extend(
+                    cfg.line_of(base + off)
+                    for off in range(
+                        0, self.elements_per_warp * cfg.warp_size * 4, cfg.line_size
+                    )
+                )
+        system.l2.warm_lines(lines)
+        system.memory.store_word(wl.total_addr, 0)
+
+        def factory(tb: int, w: int):
+            def program(ctx: WarpContext):
+                # --- streaming phase: reduce the slice into a register -----
+                base = wl.slice_base(cfg, tb, w)
+                partial = 0
+                for e in range(wl.elements_per_warp):
+                    addr = base + e * cfg.warp_size * 4
+                    yield Instruction.load(
+                        [addr + i * 4 for i in range(cfg.warp_size)], dst=1
+                    )
+                    yield Instruction.alu(dst=2, srcs=(1, 2), tag="acc")
+                    for i in range(cfg.warp_size):
+                        partial += ctx.memory.load_word(addr + i * 4)
+                yield Instruction.store(
+                    [wl.partial_addr(tb, w)], srcs=(2,), value=partial, tag="partial"
+                )
+                # --- block-level tree: log2(warps) barrier rounds ----------
+                stride = 1
+                while stride < wl.num_warps_in_tb(ctx):
+                    yield Instruction.barrier()
+                    if w % (2 * stride) == 0 and w + stride < wl.num_warps_in_tb(ctx):
+                        mine = yield Instruction.load(
+                            [wl.partial_addr(tb, w)],
+                            dst=3,
+                            returns_value=True,
+                        )
+                        theirs = yield Instruction.load(
+                            [wl.partial_addr(tb, w + stride)],
+                            dst=4,
+                            returns_value=True,
+                        )
+                        yield Instruction.alu(dst=3, srcs=(3, 4))
+                        yield Instruction.store(
+                            [wl.partial_addr(tb, w)],
+                            srcs=(3,),
+                            value=mine + theirs,
+                        )
+                    stride *= 2
+                # --- one atomic per block publishes the block total --------
+                if w == 0:
+                    block_total = ctx.peek_word(wl.partial_addr(tb, 0))
+                    yield Instruction.atomic_add(
+                        wl.total_addr, block_total, returns_value=False, tag="publish"
+                    )
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+    @staticmethod
+    def num_warps_in_tb(ctx: WarpContext) -> int:
+        return ctx.num_warps_in_tb
+
+    def verify(self, system: "System") -> bool:
+        return system.memory.load_word(self.total_addr) == self.expected_total(system)

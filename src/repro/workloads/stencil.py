@@ -1,0 +1,224 @@
+"""2D 5-point stencil with scratchpad tiling.
+
+The canonical kernel the scratchpad idiom exists for (and the kind of
+regular workload the paper's intro contrasts with UTS): each thread block
+stages a tile plus halo into the scratchpad, synchronizes, computes the
+stencil out of local memory, and writes results back to global memory.
+
+Two variants share the geometry so GSI can show the tradeoff:
+
+* :class:`StencilGlobalWorkload` -- no tiling; every neighbour access goes
+  through the L1/L2 (5x the global loads, but reuse hits in the L1).
+* :class:`StencilScratchpadWorkload` -- explicit tiling; global traffic
+  drops to one load per cell but the copy loop costs instructions and
+  scratchpad bank conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gpu.instruction import Instruction, Space
+from repro.gpu.kernel import Kernel, WarpContext, uniform_grid
+from repro.sim.config import LocalMemory, SystemConfig
+from repro.workloads.base import REGION_ARRAY, REGION_SCRATCH_OUT, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+_CELL = 4  # bytes per cell
+
+
+class _StencilBase(Workload):
+    """Shared geometry: a grid of ``tile`` x ``tile`` tiles per block."""
+
+    def __init__(
+        self,
+        tile: int = 16,
+        tiles: int = 4,
+        warps_per_tb: int = 4,
+        iterations: int = 1,
+    ) -> None:
+        if tile % 2:
+            raise ValueError("tile must be even")
+        self.tile = tile
+        self.tiles = tiles
+        self.warps_per_tb = warps_per_tb
+        self.iterations = iterations
+
+    def configure(self, config: SystemConfig) -> SystemConfig:
+        return config.scaled(num_sms=min(config.num_sms, 4))
+
+    # grid layout -----------------------------------------------------------
+    def width(self) -> int:
+        return self.tile * self.tiles
+
+    def in_addr(self, x: int, y: int) -> int:
+        w = self.width() + 2  # +2: halo ring
+        return REGION_ARRAY + ((y + 1) * w + (x + 1)) * _CELL
+
+    def out_addr(self, x: int, y: int) -> int:
+        return REGION_SCRATCH_OUT + (y * self.width() + x) * _CELL
+
+    def init_memory(self, system: "System") -> None:
+        w = self.width() + 2
+        lines = set()
+        for y in range(w):
+            for x in range(w):
+                addr = REGION_ARRAY + (y * w + x) * _CELL
+                system.memory.store_word(addr, (x * 31 + y * 17) & 0xFFFF)
+                lines.add(system.config.line_of(addr))
+        system.l2.warm_lines(sorted(lines))
+
+    def _rows_for_warp(self, w: int) -> range:
+        rows_per_warp = self.tile // self.warps_per_tb
+        return range(w * rows_per_warp, (w + 1) * rows_per_warp)
+
+    def verify(self, system: "System") -> bool:
+        """Spot-check the stencil arithmetic against a reference."""
+        mem = system.memory
+
+        def ref(x: int, y: int) -> int:
+            acc = 0
+            for dx, dy in ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)):
+                acc += mem.load_word(self.in_addr(x + dx, y + dy))
+            return (acc // 5) & 0xFFFF
+
+        probes = [(0, 0), (1, 1), (self.width() - 1, self.width() - 1)]
+        return all(mem.load_word(self.out_addr(x, y)) == ref(x, y) for x, y in probes)
+
+
+class StencilGlobalWorkload(_StencilBase):
+    """Untiled: all five neighbour loads go to the global hierarchy."""
+
+    name = "stencil_global"
+
+    def build(self, system: "System") -> Kernel:
+        self.init_memory(system)
+        cfg = system.config
+        wl = self
+
+        def factory(tb: int, warp: int):
+            ty, tx = divmod(tb, wl.tiles)
+
+            def program(ctx: WarpContext):
+                for row in wl._rows_for_warp(warp):
+                    y = ty * wl.tile + row
+                    for x0 in range(tx * wl.tile, (tx + 1) * wl.tile, cfg.warp_size):
+                        n = min(cfg.warp_size, (tx + 1) * wl.tile - x0)
+                        # five coalesced neighbour loads
+                        for reg, (dx, dy) in enumerate(
+                            ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)), start=1
+                        ):
+                            yield Instruction.load(
+                                [wl.in_addr(x0 + i + dx, y + dy) for i in range(n)],
+                                dst=reg,
+                            )
+                        yield Instruction.alu(dst=6, srcs=(1, 2, 3))
+                        yield Instruction.alu(dst=6, srcs=(6, 4, 5))
+                        # functional result for the verifier (lane 0..n-1)
+                        for i in range(n):
+                            acc = sum(
+                                ctx.memory.load_word(wl.in_addr(x0 + i + dx, y + dy))
+                                for dx, dy in ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1))
+                            )
+                            ctx.memory.store_word(
+                                wl.out_addr(x0 + i, y), (acc // 5) & 0xFFFF
+                            )
+                        yield Instruction.store(
+                            [wl.out_addr(x0 + i, y) for i in range(n)], srcs=(6,)
+                        )
+
+            return program
+
+        return uniform_grid(
+            self.name, self.tiles * self.tiles, self.warps_per_tb, factory
+        )
+
+
+class StencilScratchpadWorkload(_StencilBase):
+    """Tiled: stage tile+halo into the scratchpad, compute locally."""
+
+    name = "stencil_scratchpad"
+
+    def configure(self, config: SystemConfig) -> SystemConfig:
+        return super().configure(config).scaled(local_memory=LocalMemory.SCRATCHPAD)
+
+    def scratch_addr(self, lx: int, ly: int) -> int:
+        # (tile+2)^2 staging area, row-major, halo inclusive
+        return ((ly * (self.tile + 2)) + lx) * _CELL
+
+    def build(self, system: "System") -> Kernel:
+        self.init_memory(system)
+        cfg = system.config
+        wl = self
+
+        def factory(tb: int, warp: int):
+            ty, tx = divmod(tb, wl.tiles)
+
+            def program(ctx: WarpContext):
+                # --- stage tile + halo (each warp stages its row slice +1) --
+                halo_rows = range(
+                    wl._rows_for_warp(warp).start,
+                    wl._rows_for_warp(warp).stop + (2 if warp == wl.warps_per_tb - 1 else 0),
+                )
+                for row in halo_rows:
+                    y = ty * wl.tile + row - 1
+                    gx = tx * wl.tile - 1
+                    for lx0 in range(0, wl.tile + 2, cfg.warp_size):
+                        n = min(cfg.warp_size, wl.tile + 2 - lx0)
+                        yield Instruction.alu(dst=10, tag="addr")
+                        yield Instruction.load(
+                            [wl.in_addr(gx + lx0 + i, y) for i in range(n)],
+                            dst=1,
+                            tag="stage_load",
+                        )
+                        yield Instruction.store(
+                            [wl.scratch_addr(lx0 + i, row) for i in range(n)],
+                            srcs=(1,),
+                            space=Space.SCRATCH,
+                            tag="stage_store",
+                        )
+                yield Instruction.barrier()
+                # --- compute out of the scratchpad -------------------------
+                for row in wl._rows_for_warp(warp):
+                    y = ty * wl.tile + row
+                    for x0 in range(0, wl.tile, cfg.warp_size):
+                        n = min(cfg.warp_size, wl.tile - x0)
+                        for reg, (dx, dy) in enumerate(
+                            ((1, 1), (2, 1), (0, 1), (1, 2), (1, 0)), start=1
+                        ):
+                            yield Instruction.load(
+                                [
+                                    wl.scratch_addr(x0 + i + dx, row + dy)
+                                    for i in range(n)
+                                ],
+                                dst=reg,
+                                space=Space.SCRATCH,
+                            )
+                        yield Instruction.alu(dst=6, srcs=(1, 2, 3))
+                        yield Instruction.alu(dst=6, srcs=(6, 4, 5))
+                        for i in range(n):
+                            gx = tx * wl.tile + x0 + i
+                            acc = sum(
+                                ctx.memory.load_word(wl.in_addr(gx + dx, y + dy))
+                                for dx, dy in ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1))
+                            )
+                            ctx.memory.store_word(
+                                wl.out_addr(gx, y), (acc // 5) & 0xFFFF
+                            )
+                        yield Instruction.store(
+                            [wl.out_addr(tx * wl.tile + x0 + i, y) for i in range(n)],
+                            srcs=(6,),
+                            tag="result",
+                        )
+
+            return program
+
+        return uniform_grid(
+            self.name,
+            self.tiles * self.tiles,
+            self.warps_per_tb,
+            factory,
+            warps_per_sm_limit=self.warps_per_tb,
+        )

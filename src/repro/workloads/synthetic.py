@@ -1,0 +1,231 @@
+"""Synthetic kernels: small, controllable workloads.
+
+These are not from the paper's evaluation; they exist to (a) unit/integration
+test every stall path in isolation and (b) serve as extra example workloads.
+Each one is engineered to make a specific stall class dominate:
+
+* :class:`StreamingWorkload`     -- independent global loads + compute + stores.
+* :class:`PointerChaseWorkload`  -- serially dependent loads (memory data).
+* :class:`ComputeHeavyWorkload`  -- ALU/SFU chains (compute data/structural).
+* :class:`LockContentionWorkload`-- one global lock (synchronization).
+* :class:`BurstStoreWorkload`    -- store bursts (store-buffer-full structural).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import Kernel, WarpContext, uniform_grid
+from repro.sim.config import SystemConfig
+from repro.workloads.base import (
+    REGION_ARRAY,
+    REGION_LOCKS,
+    REGION_SCRATCH_OUT,
+    Workload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+def _warp_addrs(base: int, lanes: int = 32, stride: int = 4) -> list[int]:
+    return [base + i * stride for i in range(lanes)]
+
+
+class StreamingWorkload(Workload):
+    """Each warp streams over its own chunk: load, a little compute, store."""
+
+    name = "streaming"
+
+    def __init__(
+        self,
+        num_tbs: int = 4,
+        warps_per_tb: int = 4,
+        elements_per_warp: int = 32,
+        alu_per_element: int = 2,
+    ) -> None:
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.elements_per_warp = elements_per_warp
+        self.alu_per_element = alu_per_element
+
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        bytes_per_warp = self.elements_per_warp * cfg.warp_size * 4
+
+        def factory(tb: int, w: int):
+            base = REGION_ARRAY + (tb * self.warps_per_tb + w) * bytes_per_warp
+            out = REGION_SCRATCH_OUT + (tb * self.warps_per_tb + w) * bytes_per_warp
+
+            def program(ctx: WarpContext):
+                for e in range(self.elements_per_warp):
+                    addr = base + e * cfg.warp_size * 4
+                    yield Instruction.load(_warp_addrs(addr), dst=1)
+                    for k in range(self.alu_per_element):
+                        yield Instruction.alu(dst=2, srcs=(1,) if k == 0 else (2,))
+                    yield Instruction.store(
+                        _warp_addrs(out + e * cfg.warp_size * 4), srcs=(2,)
+                    )
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+
+class PointerChaseWorkload(Workload):
+    """Serially dependent loads: every load feeds the next address."""
+
+    name = "pointer_chase"
+
+    def __init__(
+        self, num_tbs: int = 2, warps_per_tb: int = 2, chain_length: int = 32
+    ) -> None:
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.chain_length = chain_length
+
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        # Build one pointer chain per warp in functional memory.
+        chains: dict[tuple[int, int], int] = {}
+        for tb in range(self.num_tbs):
+            for w in range(self.warps_per_tb):
+                wid = tb * self.warps_per_tb + w
+                base = REGION_ARRAY + wid * self.chain_length * cfg.line_size * 2
+                chains[(tb, w)] = base
+                for i in range(self.chain_length):
+                    here = base + i * cfg.line_size * 2
+                    nxt = base + (i + 1) * cfg.line_size * 2
+                    system.memory.store_word(here, nxt)
+
+        def factory(tb: int, w: int):
+            start = chains[(tb, w)]
+
+            def program(ctx: WarpContext):
+                addr = start
+                for _ in range(self.chain_length):
+                    addr = yield Instruction.load(
+                        [addr], dst=1, returns_value=True, value_addr=addr
+                    )
+                    yield Instruction.alu(dst=2, srcs=(1,))
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+
+class ComputeHeavyWorkload(Workload):
+    """Dependent ALU chains sprinkled with SFU bursts."""
+
+    name = "compute_heavy"
+
+    def __init__(
+        self,
+        num_tbs: int = 2,
+        warps_per_tb: int = 4,
+        iterations: int = 64,
+        sfu_every: int = 8,
+    ) -> None:
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.iterations = iterations
+        self.sfu_every = sfu_every
+
+    def build(self, system: "System") -> Kernel:
+        def factory(tb: int, w: int):
+            def program(ctx: WarpContext):
+                yield Instruction.alu(dst=1)
+                for i in range(self.iterations):
+                    if self.sfu_every and i % self.sfu_every == 0:
+                        yield Instruction.sfu(dst=1, srcs=(1,))
+                    else:
+                        yield Instruction.alu(dst=1, srcs=(1,))
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+
+class LockContentionWorkload(Workload):
+    """Every warp hammers one global lock with CAS acquire / EXCH release."""
+
+    name = "lock_contention"
+
+    def __init__(
+        self, num_tbs: int = 4, warps_per_tb: int = 2, critical_sections: int = 4
+    ) -> None:
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.critical_sections = critical_sections
+
+    def build(self, system: "System") -> Kernel:
+        lock = REGION_LOCKS
+
+        def factory(tb: int, w: int):
+            def program(ctx: WarpContext):
+                for _ in range(self.critical_sections):
+                    while True:
+                        old = yield Instruction.atomic_cas(lock, 0, 1, acquire=True)
+                        if old == 0:
+                            break
+                    yield Instruction.alu(dst=1)
+                    yield Instruction.store(
+                        [REGION_ARRAY + (tb * 64 + w) * 4], srcs=(1,)
+                    )
+                    yield Instruction.atomic_exch(lock, 0, release=True)
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+
+class BurstStoreWorkload(Workload):
+    """Back-to-back stores to distinct lines: fills the store buffer."""
+
+    name = "burst_store"
+
+    def __init__(
+        self, num_tbs: int = 1, warps_per_tb: int = 4, stores_per_warp: int = 64
+    ) -> None:
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.stores_per_warp = stores_per_warp
+
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+
+        def factory(tb: int, w: int):
+            base = REGION_ARRAY + (tb * self.warps_per_tb + w) * (
+                self.stores_per_warp * cfg.line_size
+            )
+
+            def program(ctx: WarpContext):
+                for i in range(self.stores_per_warp):
+                    yield Instruction.store([base + i * cfg.line_size])
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+
+class IdleTailWorkload(Workload):
+    """One long thread block and several short ones: exposes idle stalls."""
+
+    name = "idle_tail"
+
+    def __init__(self, num_tbs: int = 4, long_iterations: int = 400) -> None:
+        self.num_tbs = num_tbs
+        self.long_iterations = long_iterations
+
+    def build(self, system: "System") -> Kernel:
+        def factory(tb: int, w: int):
+            iters = self.long_iterations if tb == 0 else 4
+
+            def program(ctx: WarpContext):
+                for _ in range(iters):
+                    yield Instruction.alu(dst=1, srcs=(1,))
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, 1, factory)

@@ -1,0 +1,346 @@
+"""Unbalanced Tree Search (UTS) and its decentralized variant (UTSD).
+
+Case study 1 of the paper (Section 6.1).  UTS processes every node of an
+unbalanced tree of unknown structure; a *global* task queue tracks nodes yet
+to be processed, and access to it is protected by one global lock acquired
+by one thread per warp (atomic CAS with acquire semantics; atomic EXCH with
+release semantics to unlock).  Processing a node pushes its children back
+onto the queue.  The result is a workload dominated by synchronization
+stalls, with the memory stall breakdown exposing DeNovo's remote-L1 and
+pending-release artifacts when producer/consumer locality is poor.
+
+UTSD (Section 6.1.4) decentralizes the queue: each SM gets a local task
+queue and lock; a shared global queue preserves load balancing -- a worker
+pushes to the global queue only when its local queue is full and pulls from
+it only when the local queue is empty.  Local queues give producer/consumer
+locality, which is what lets DeNovo's ownership pay off.
+
+The tree itself is generated ahead of time with a seeded geometric process
+(in the spirit of the original UTS generator); the *structure* is what the
+paper's behaviour depends on, not the hashing the original uses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import Kernel, WarpContext, uniform_grid
+from repro.sim.config import SystemConfig
+from repro.workloads.base import (
+    REGION_COUNTERS,
+    REGION_LOCKS,
+    REGION_QUEUE_DATA,
+    REGION_QUEUE_META,
+    REGION_TREE,
+    Workload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+# Queue layout constants. Each queue's metadata (head, tail) lives in its
+# own cache lines; slots are word-sized and share lines (16 per 64 B line),
+# which is what creates reuse/locality effects on queue data.
+_QUEUE_STRIDE = 0x10_0000     # address space reserved per queue
+_GLOBAL_QUEUE = 0              # queue id of the global queue
+_LOCAL_QUEUE_BASE = 1          # local queue of SM i has id 1 + i
+
+
+def generate_tree(
+    total_nodes: int, seed: int, root_fanout: int = 12, branch_prob: float = 0.28,
+    max_children: int = 8,
+) -> list[list[int]]:
+    """Geometric unbalanced tree: ``children[n]`` lists node n's children.
+
+    Interior nodes spawn a geometric number of children; expansion stops
+    once ``total_nodes`` ids are allocated, so the tree is exactly that
+    size.  The high root fanout seeds parallelism; the geometric tail makes
+    subtree sizes wildly unbalanced (the benchmark's defining property).
+    """
+    if total_nodes < 1:
+        raise ValueError("tree needs at least one node")
+    rng = random.Random(seed)
+    children: list[list[int]] = [[] for _ in range(total_nodes)]
+    next_id = 1
+    frontier = [0]
+    # Root fanout first.
+    for _ in range(root_fanout):
+        if next_id >= total_nodes:
+            break
+        children[0].append(next_id)
+        frontier.append(next_id)
+        next_id += 1
+    cursor = 1
+    while next_id < total_nodes and cursor < len(frontier):
+        node = frontier[cursor]
+        cursor += 1
+        n_kids = 0
+        while n_kids < max_children and rng.random() < branch_prob:
+            n_kids += 1
+        for _ in range(n_kids):
+            if next_id >= total_nodes:
+                break
+            children[node].append(next_id)
+            frontier.append(next_id)
+            next_id += 1
+        if cursor >= len(frontier) and next_id < total_nodes:
+            # Degenerate roll: graft remaining nodes as a chain so the tree
+            # always reaches the requested size.
+            children[node].append(next_id)
+            frontier.append(next_id)
+            next_id += 1
+    return children
+
+
+class _TaskQueue:
+    """Address layout of one in-memory task queue."""
+
+    def __init__(self, queue_id: int, capacity: int) -> None:
+        base = REGION_QUEUE_META + queue_id * _QUEUE_STRIDE
+        self.head_addr = base            # own line
+        self.tail_addr = base + 0x100    # separate line
+        self.slots = REGION_QUEUE_DATA + queue_id * _QUEUE_STRIDE
+        self.lock_addr = REGION_LOCKS + queue_id * 0x100
+        self.capacity = capacity
+
+    def slot_addr(self, index: int) -> int:
+        return self.slots + (index % self.capacity) * 4
+
+
+class UtsWorkload(Workload):
+    """UTS with a single global task queue (the paper's baseline version)."""
+
+    name = "uts"
+
+    def __init__(
+        self,
+        total_nodes: int = 360,
+        warps_per_tb: int = 4,
+        payload_lines: int = 2,
+        work_per_node: tuple[int, int] = (2, 8),
+        tree_seed: int = 7,
+    ) -> None:
+        self.total_nodes = total_nodes
+        self.warps_per_tb = warps_per_tb
+        self.payload_lines = payload_lines
+        self.work_per_node = work_per_node
+        self.tree_seed = tree_seed
+        self.children = generate_tree(total_nodes, tree_seed)
+
+    # ------------------------------------------------------------------
+    def configure(self, config: SystemConfig) -> SystemConfig:
+        return config
+
+    def _payload_addrs(self, node: int, line_size: int) -> list[int]:
+        base = REGION_TREE + node * self.payload_lines * line_size
+        return [base + i * line_size for i in range(self.payload_lines)]
+
+    def _init_queue(self, system: "System", queue: _TaskQueue, seed_nodes: list[int]) -> None:
+        mem = system.memory
+        mem.store_word(queue.head_addr, 0)
+        mem.store_word(queue.tail_addr, len(seed_nodes))
+        for i, node in enumerate(seed_nodes):
+            mem.store_word(queue.slot_addr(i), node)
+
+    # ------------------------------------------------------------------
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        queue = _TaskQueue(_GLOBAL_QUEUE, capacity=2 * self.total_nodes + 64)
+        self._init_queue(system, queue, [0])
+        done_addr = REGION_COUNTERS
+        system.memory.store_word(done_addr, 0)
+        total = self.total_nodes
+        children = self.children
+        line_size = cfg.line_size
+        lo, hi = self.work_per_node
+
+        def factory(tb: int, w: int):
+            def program(ctx: WarpContext):
+                yield from _uts_worker(
+                    ctx,
+                    local_queue=None,
+                    global_queue=queue,
+                    done_addr=done_addr,
+                    total=total,
+                    children=children,
+                    payload_addrs=lambda n: self._payload_addrs(n, line_size),
+                    work_range=(lo, hi),
+                )
+
+            return program
+
+        return uniform_grid(self.name, system.config.num_sms, self.warps_per_tb, factory)
+
+
+class UtsdWorkload(UtsWorkload):
+    """UTSD: per-SM local task queues with a global overflow queue."""
+
+    name = "utsd"
+
+    def __init__(self, local_capacity: int = 48, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.local_capacity = local_capacity
+
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        global_queue = _TaskQueue(_GLOBAL_QUEUE, capacity=2 * self.total_nodes + 64)
+        local_queues = {
+            sm: _TaskQueue(_LOCAL_QUEUE_BASE + sm, capacity=self.local_capacity)
+            for sm in range(cfg.num_sms)
+        }
+        self._init_queue(system, global_queue, [0])
+        for q in local_queues.values():
+            self._init_queue(system, q, [])
+        done_addr = REGION_COUNTERS
+        system.memory.store_word(done_addr, 0)
+        total = self.total_nodes
+        children = self.children
+        line_size = cfg.line_size
+        lo, hi = self.work_per_node
+
+        def factory(tb: int, w: int):
+            def program(ctx: WarpContext):
+                # The local queue is chosen by the SM the warp actually runs
+                # on, preserving producer/consumer locality.
+                yield from _uts_worker(
+                    ctx,
+                    local_queue=local_queues[ctx.sm_id],
+                    global_queue=global_queue,
+                    done_addr=done_addr,
+                    total=total,
+                    children=children,
+                    payload_addrs=lambda n: self._payload_addrs(n, line_size),
+                    work_range=(lo, hi),
+                )
+
+            return program
+
+        return uniform_grid(self.name, cfg.num_sms, self.warps_per_tb, factory)
+
+
+# ---------------------------------------------------------------------------
+# The worker program shared by UTS (local_queue=None) and UTSD.
+# ---------------------------------------------------------------------------
+
+def _acquire(lock_addr: int, rng):
+    """Spin on CAS-with-acquire until the lock is taken.
+
+    Failed attempts insert a small randomized backoff (a handful of fetch
+    cycles).  Besides being what real spin loops do, this breaks the
+    deterministic phase alignment that can otherwise starve one contender
+    forever in a noise-free simulation.
+    """
+    while True:
+        old = yield Instruction.atomic_cas(lock_addr, 0, 1, acquire=True, tag="lock")
+        if old == 0:
+            return
+        yield Instruction.nop(fetch_delay=rng.randrange(0, 12), tag="backoff")
+
+
+def _release(lock_addr: int):
+    yield Instruction.atomic_exch(lock_addr, 0, release=True, tag="unlock")
+
+
+def _try_pop(queue: _TaskQueue, rng):
+    """Pop under the queue's lock.  Yields instructions; returns the node id
+    or None if the queue was empty."""
+    yield from _acquire(queue.lock_addr, rng)
+    head = yield Instruction.load(
+        [queue.head_addr], dst=1, returns_value=True, tag="head"
+    )
+    tail = yield Instruction.load(
+        [queue.tail_addr], dst=2, returns_value=True, tag="tail"
+    )
+    if head == tail:
+        yield from _release(queue.lock_addr)
+        return None
+    node = yield Instruction.load(
+        [queue.slot_addr(head)], dst=3, returns_value=True, tag="slot"
+    )
+    yield Instruction.store([queue.head_addr], srcs=(1,), value=head + 1, tag="pop")
+    yield from _release(queue.lock_addr)
+    return node
+
+
+def _push_batch(queue: _TaskQueue, nodes: list[int], respect_capacity: bool, rng):
+    """Push under the queue's lock.  Returns the list that did NOT fit."""
+    if not nodes:
+        return []
+    yield from _acquire(queue.lock_addr, rng)
+    head = yield Instruction.load(
+        [queue.head_addr], dst=1, returns_value=True, tag="head"
+    )
+    tail = yield Instruction.load(
+        [queue.tail_addr], dst=2, returns_value=True, tag="tail"
+    )
+    room = (queue.capacity - (tail - head)) if respect_capacity else len(nodes)
+    fit = nodes[: max(0, room)]
+    overflow = nodes[len(fit):]
+    for i, node in enumerate(fit):
+        yield Instruction.store(
+            [queue.slot_addr(tail + i)], value=node, tag="push_slot"
+        )
+    if fit:
+        yield Instruction.store(
+            [queue.tail_addr], value=tail + len(fit), tag="push_tail"
+        )
+    yield from _release(queue.lock_addr)
+    return overflow
+
+
+def _uts_worker(
+    ctx: WarpContext,
+    local_queue: _TaskQueue | None,
+    global_queue: _TaskQueue,
+    done_addr: int,
+    total: int,
+    children: list[list[int]],
+    payload_addrs,
+    work_range: tuple[int, int],
+):
+    """One warp's task loop: pop, process, push children, until done."""
+    lo, hi = work_range
+    while True:
+        node = None
+        if local_queue is not None:
+            node = yield from _try_pop(local_queue, ctx.rng)
+        if node is None:
+            node = yield from _try_pop(global_queue, ctx.rng)
+        if node is None:
+            done = yield Instruction.load(
+                [done_addr], dst=4, returns_value=True, tag="done"
+            )
+            if done >= total:
+                return
+            # Irregular control: the retry path re-fetches with a small
+            # divergence penalty.
+            yield Instruction.nop(fetch_delay=2, tag="retry")
+            continue
+        # --- process the node: payload reads + data-dependent compute.
+        # One load per payload line, each feeding compute, so processing
+        # overlaps other warps' critical sections (and their release
+        # flushes, which is where pending-release structural stalls come
+        # from).
+        work = lo + (node * 2654435761 % max(1, hi - lo))
+        for addr in payload_addrs(node):
+            yield Instruction.load([addr], dst=5, tag="payload")
+            yield Instruction.alu(dst=6, srcs=(5,), tag="work0")
+            for _ in range(work):
+                yield Instruction.alu(dst=6, srcs=(6,), tag="work")
+        yield Instruction.atomic_add(done_addr, 1, tag="done_inc")
+        # --- push children -------------------------------------------------
+        kids = list(children[node])
+        if not kids:
+            continue
+        if local_queue is not None:
+            overflow = yield from _push_batch(
+                local_queue, kids, respect_capacity=True, rng=ctx.rng
+            )
+            if overflow:
+                yield from _push_batch(
+                    global_queue, overflow, respect_capacity=False, rng=ctx.rng
+                )
+        else:
+            yield from _push_batch(global_queue, kids, respect_capacity=False, rng=ctx.rng)

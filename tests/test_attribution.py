@@ -1,0 +1,132 @@
+"""Unit tests for the attribution engine and breakdown containers."""
+
+import pytest
+
+from repro.core.attribution import Inspector, SmAttribution
+from repro.core.breakdown import StallBreakdown
+from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
+
+
+class TestRetroactiveResolution:
+    def test_pending_then_resolved(self):
+        attr = SmAttribution(0)
+        attr.record(StallType.MEM_DATA, detail=7, n=40)
+        assert attr.breakdown.mem_data[ServiceLocation.L2] == 0
+        attr.resolve_mem(7, ServiceLocation.L2)
+        assert attr.breakdown.mem_data[ServiceLocation.L2] == 40
+        assert attr.pending_tags == 0
+
+    def test_record_after_resolution_goes_direct(self):
+        attr = SmAttribution(0)
+        attr.resolve_mem(7, ServiceLocation.REMOTE_L1)
+        attr.record(StallType.MEM_DATA, detail=7, n=5)
+        assert attr.breakdown.mem_data[ServiceLocation.REMOTE_L1] == 5
+        assert attr.pending_tags == 0
+
+    def test_finalize_drains_unresolved_to_memory(self):
+        attr = SmAttribution(0)
+        attr.record(StallType.MEM_DATA, detail=9, n=12)
+        attr.finalize()
+        assert attr.breakdown.mem_data[ServiceLocation.MEMORY] == 12
+        assert attr.unresolved_drained == 12
+
+    def test_mem_struct_detail_recorded(self):
+        attr = SmAttribution(0)
+        attr.record(StallType.MEM_STRUCT, detail=MemStructCause.MSHR_FULL, n=3)
+        attr.record(StallType.MEM_STRUCT, detail=MemStructCause.PENDING_DMA, n=2)
+        assert attr.breakdown.mem_struct[MemStructCause.MSHR_FULL] == 3
+        assert attr.breakdown.mem_struct[MemStructCause.PENDING_DMA] == 2
+
+    def test_sub_counts_never_exceed_parent(self):
+        attr = SmAttribution(0)
+        attr.record(StallType.MEM_DATA, detail=1, n=10)
+        attr.resolve_mem(1, ServiceLocation.L1)
+        attr.record(StallType.MEM_STRUCT, detail=MemStructCause.BANK_CONFLICT, n=4)
+        attr.finalize()
+        attr.breakdown.validate()  # raises on inconsistency
+
+    def test_non_memory_stalls_ignore_detail(self):
+        attr = SmAttribution(0)
+        attr.record(StallType.SYNC, detail=123, n=6)
+        assert attr.breakdown.counts[StallType.SYNC] == 6
+        assert sum(attr.breakdown.mem_data.values()) == 0
+
+
+class TestInspector:
+    def test_aggregate_merges_all_sms(self):
+        insp = Inspector(num_sms=3)
+        insp.sm(0).record(StallType.NO_STALL, n=10)
+        insp.sm(1).record(StallType.SYNC, n=5)
+        insp.sm(2).record(StallType.IDLE, n=2)
+        agg = insp.aggregate()
+        assert agg.total_cycles == 17
+        assert agg.counts[StallType.SYNC] == 5
+
+    def test_finalize_is_per_sm(self):
+        insp = Inspector(num_sms=2)
+        insp.sm(0).record(StallType.MEM_DATA, detail=1, n=4)
+        insp.finalize()
+        assert insp.sm(0).breakdown.mem_data[ServiceLocation.MEMORY] == 4
+
+
+class TestBreakdownMath:
+    def make(self, no_stall=10, sync=5, mem_data=3):
+        bd = StallBreakdown()
+        bd.add(StallType.NO_STALL, no_stall)
+        bd.add(StallType.SYNC, sync)
+        bd.add(StallType.MEM_DATA, mem_data)
+        bd.add_mem_data(ServiceLocation.L2, mem_data)
+        return bd
+
+    def test_totals(self):
+        bd = self.make()
+        assert bd.total_cycles == 18
+        assert bd.stall_cycles == 8
+        assert bd.fraction(StallType.SYNC) == pytest.approx(5 / 18)
+
+    def test_merge_is_elementwise(self):
+        merged = self.make().merge(self.make())
+        assert merged.total_cycles == 36
+        assert merged.mem_data[ServiceLocation.L2] == 6
+
+    def test_merged_list(self):
+        parts = [self.make(), self.make(), self.make()]
+        assert StallBreakdown.merged(parts).total_cycles == 54
+
+    def test_normalization_uses_baseline_total(self):
+        base = self.make(no_stall=20)
+        other = self.make()
+        norm = other.normalized_to(base)
+        assert norm[StallType.NO_STALL] == pytest.approx(10 / 28)
+        assert sum(norm.values()) == pytest.approx(18 / 28)
+
+    def test_normalize_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().normalized_to(StallBreakdown())
+
+    def test_roundtrip_dict(self):
+        bd = self.make()
+        bd.add_mem_struct(MemStructCause.MSHR_FULL, 2)
+        bd.add(StallType.MEM_STRUCT, 2)
+        back = StallBreakdown.from_dict(bd.to_dict())
+        assert back.counts == bd.counts
+        assert back.mem_data == bd.mem_data
+        assert back.mem_struct == bd.mem_struct
+
+    def test_copy_is_independent(self):
+        bd = self.make()
+        cp = bd.copy()
+        cp.add(StallType.SYNC, 100)
+        assert bd.counts[StallType.SYNC] == 5
+
+    def test_validate_rejects_inconsistent_subtaxonomy(self):
+        bd = StallBreakdown()
+        bd.add_mem_data(ServiceLocation.L2, 5)  # no parent MEM_DATA cycles
+        with pytest.raises(ValueError):
+            bd.validate()
+
+    def test_rows_are_stable_and_complete(self):
+        rows = dict(self.make().rows())
+        assert rows["no_stall"] == 10
+        assert rows["mem_data:l2"] == 3
+        assert "mem_struct:mshr_full" in rows

@@ -1,0 +1,100 @@
+"""Unit tests for the set-associative cache tag array."""
+
+import pytest
+
+from repro.mem.cache import LineState, SetAssocCache
+
+
+@pytest.fixture
+def cache():
+    return SetAssocCache(num_sets=4, assoc=2)
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(0x10) is None
+        cache.insert(0x10, LineState.VALID)
+        assert cache.lookup(0x10) is LineState.VALID
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_state_of_does_not_count(self, cache):
+        cache.insert(0x10, LineState.OWNED)
+        assert cache.state_of(0x10) is LineState.OWNED
+        assert cache.state_of(0x11) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_set_mapping(self, cache):
+        # lines 0 and 4 map to the same set (4 sets)
+        cache.insert(0, LineState.VALID)
+        cache.insert(4, LineState.VALID)
+        cache.insert(8, LineState.VALID)  # evicts line 0 (LRU)
+        assert not cache.contains(0)
+        assert cache.contains(4)
+        assert cache.contains(8)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 0)
+
+
+class TestLru:
+    def test_lookup_refreshes_lru(self, cache):
+        cache.insert(0, LineState.VALID)
+        cache.insert(4, LineState.VALID)
+        cache.lookup(0)  # 0 becomes MRU
+        victim = cache.insert(8, LineState.VALID)
+        assert victim == (4, LineState.VALID)
+
+    def test_insert_existing_updates_state(self, cache):
+        cache.insert(0, LineState.VALID)
+        victim = cache.insert(0, LineState.OWNED)
+        assert victim is None
+        assert cache.state_of(0) is LineState.OWNED
+        assert cache.occupancy() == 1
+
+    def test_eviction_returns_victim_state(self, cache):
+        cache.insert(0, LineState.OWNED)
+        cache.insert(4, LineState.VALID)
+        victim = cache.insert(8, LineState.VALID)
+        assert victim == (0, LineState.OWNED)
+        assert cache.evictions == 1
+
+
+class TestInvalidation:
+    def test_invalidate_single(self, cache):
+        cache.insert(0, LineState.VALID)
+        assert cache.invalidate(0) is LineState.VALID
+        assert cache.invalidate(0) is None
+        assert not cache.contains(0)
+
+    def test_invalidate_all_drops_everything(self, cache):
+        for line in range(6):
+            cache.insert(line, LineState.VALID)
+        dropped = cache.invalidate_all()
+        assert dropped == 6
+        assert cache.occupancy() == 0
+
+    def test_acquire_keeps_owned_lines_for_denovo(self, cache):
+        cache.insert(0, LineState.OWNED)
+        cache.insert(1, LineState.VALID)
+        cache.insert(2, LineState.OWNED)
+        dropped = cache.invalidate_all(keep_owned=True)
+        assert dropped == 1
+        assert cache.state_of(0) is LineState.OWNED
+        assert cache.state_of(2) is LineState.OWNED
+        assert not cache.contains(1)
+
+    def test_owned_lines_listing(self, cache):
+        cache.insert(0, LineState.OWNED)
+        cache.insert(1, LineState.VALID)
+        assert cache.owned_lines() == [0]
+
+    def test_set_state_requires_presence(self, cache):
+        with pytest.raises(KeyError):
+            cache.set_state(0x99, LineState.OWNED)
+        cache.insert(0x99, LineState.VALID)
+        cache.set_state(0x99, LineState.OWNED)
+        assert cache.state_of(0x99) is LineState.OWNED

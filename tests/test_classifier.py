@@ -1,0 +1,163 @@
+"""Unit tests for Algorithms 1 and 2 (the heart of GSI)."""
+
+import pytest
+
+from repro.core.classifier import (
+    InstructionSnapshot,
+    classify_cycle,
+    classify_cycle_first,
+    classify_cycle_strong,
+    classify_cycle_with_detail,
+    classify_instruction,
+)
+from repro.core.stall_types import CYCLE_PRIORITY, INSTRUCTION_PRIORITY, StallType
+
+
+class TestAlgorithm1:
+    def test_no_active_warps_is_idle(self):
+        snap = InstructionSnapshot(no_active_warp=True, can_issue=False)
+        assert classify_instruction(snap) is StallType.IDLE
+
+    def test_unavailable_instruction_is_control(self):
+        snap = InstructionSnapshot(next_instruction_unavailable=True, can_issue=False)
+        assert classify_instruction(snap) is StallType.CONTROL
+
+    def test_sync_beats_memory_data(self):
+        snap = InstructionSnapshot(
+            blocked_for_synchronization=True,
+            data_hazard_on_load=True,
+            can_issue=False,
+        )
+        assert classify_instruction(snap) is StallType.SYNC
+
+    def test_memory_data_beats_memory_structural(self):
+        snap = InstructionSnapshot(
+            data_hazard_on_load=True,
+            structural_hazard_on_lsu=True,
+            can_issue=False,
+        )
+        assert classify_instruction(snap) is StallType.MEM_DATA
+
+    def test_memory_structural_beats_compute_data(self):
+        snap = InstructionSnapshot(
+            structural_hazard_on_lsu=True,
+            data_hazard_on_compute=True,
+            can_issue=False,
+        )
+        assert classify_instruction(snap) is StallType.MEM_STRUCT
+
+    def test_compute_data_beats_compute_structural(self):
+        snap = InstructionSnapshot(
+            data_hazard_on_compute=True,
+            structural_hazard_on_compute_unit=True,
+            can_issue=False,
+        )
+        assert classify_instruction(snap) is StallType.COMP_DATA
+
+    def test_issuable_is_no_stall(self):
+        assert classify_instruction(InstructionSnapshot()) is StallType.NO_STALL
+
+    def test_inconsistent_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            classify_instruction(InstructionSnapshot(can_issue=False))
+
+    def test_full_priority_chain(self):
+        """Each cause beats everything below it in Algorithm 1's order."""
+        fields = [
+            ("no_active_warp", StallType.IDLE),
+            ("next_instruction_unavailable", StallType.CONTROL),
+            ("blocked_for_synchronization", StallType.SYNC),
+            ("data_hazard_on_load", StallType.MEM_DATA),
+            ("structural_hazard_on_lsu", StallType.MEM_STRUCT),
+            ("data_hazard_on_compute", StallType.COMP_DATA),
+            ("structural_hazard_on_compute_unit", StallType.COMP_STRUCT),
+        ]
+        for i, (field, expected) in enumerate(fields):
+            kwargs = {f: True for f, _ in fields[i:]}
+            kwargs["can_issue"] = False
+            assert classify_instruction(InstructionSnapshot(**kwargs)) is expected
+
+
+class TestAlgorithm2:
+    def test_any_issue_means_no_stall(self):
+        causes = [StallType.MEM_DATA, StallType.NO_STALL, StallType.SYNC]
+        assert classify_cycle(causes) is StallType.NO_STALL
+
+    def test_weakest_cause_wins(self):
+        # Memory structural is the weakest (closest to issuing) non-issue
+        # cause in Algorithm 2's order.
+        causes = [StallType.IDLE, StallType.SYNC, StallType.MEM_STRUCT]
+        assert classify_cycle(causes) is StallType.MEM_STRUCT
+
+    def test_mem_struct_beats_mem_data(self):
+        assert (
+            classify_cycle([StallType.MEM_DATA, StallType.MEM_STRUCT])
+            is StallType.MEM_STRUCT
+        )
+
+    def test_sync_beats_compute(self):
+        # Not an exact inversion of Algorithm 1: sync outranks both compute
+        # causes in the cycle priority.
+        assert (
+            classify_cycle([StallType.COMP_DATA, StallType.SYNC]) is StallType.SYNC
+        )
+        assert (
+            classify_cycle([StallType.COMP_STRUCT, StallType.SYNC]) is StallType.SYNC
+        )
+
+    def test_idle_only_when_nothing_else(self):
+        assert classify_cycle([StallType.IDLE, StallType.IDLE]) is StallType.IDLE
+        assert classify_cycle([]) is StallType.IDLE
+
+    def test_priority_lists_are_permutations(self):
+        assert sorted(CYCLE_PRIORITY, key=lambda s: s.value) == sorted(
+            INSTRUCTION_PRIORITY, key=lambda s: s.value
+        )
+        assert len(set(CYCLE_PRIORITY)) == len(StallType)
+
+    def test_not_exact_inversion(self):
+        """The paper notes the weak priority is NOT the strong one reversed."""
+        inverted = tuple(reversed(INSTRUCTION_PRIORITY))
+        assert CYCLE_PRIORITY != inverted
+
+
+class TestDetailSelection:
+    def test_detail_follows_winning_cause(self):
+        causes = [
+            (StallType.MEM_DATA, 42),
+            (StallType.MEM_STRUCT, "mshr"),
+            (StallType.MEM_DATA, 99),
+        ]
+        cause, detail = classify_cycle_with_detail(causes)
+        assert cause is StallType.MEM_STRUCT
+        assert detail == "mshr"
+
+    def test_first_matching_instruction_supplies_detail(self):
+        causes = [(StallType.MEM_DATA, 1), (StallType.MEM_DATA, 2)]
+        cause, detail = classify_cycle_with_detail(causes)
+        assert cause is StallType.MEM_DATA
+        assert detail == 1
+
+    def test_empty_is_idle(self):
+        assert classify_cycle_with_detail([]) == (StallType.IDLE, None)
+
+
+class TestAblationPolicies:
+    def test_strong_policy_picks_strongest(self):
+        causes = [StallType.MEM_STRUCT, StallType.SYNC]
+        assert classify_cycle_strong(causes) is StallType.SYNC
+        assert classify_cycle(causes) is StallType.MEM_STRUCT
+
+    def test_strong_policy_no_stall(self):
+        assert classify_cycle_strong([StallType.NO_STALL]) is StallType.NO_STALL
+
+    def test_first_policy_order_dependent(self):
+        assert (
+            classify_cycle_first([StallType.SYNC, StallType.MEM_STRUCT])
+            is StallType.SYNC
+        )
+        assert (
+            classify_cycle_first([StallType.MEM_STRUCT, StallType.SYNC])
+            is StallType.MEM_STRUCT
+        )
+        assert classify_cycle_first([]) is StallType.IDLE

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+    def test_table51_command(self, capsys):
+        assert main(["table51"]) == 0
+        assert "Table 5.1" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def test_run_streaming(self, capsys):
+        assert main(["run", "streaming", "--sms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "execution:" in out
+        assert "no_stall" in out
+
+    def test_run_with_timeline_and_energy(self, capsys):
+        assert main(
+            ["run", "streaming", "--sms", "1", "--timeline", "256", "--energy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "one column = 256 cycles" in out
+        assert "energy by component" in out
+
+    def test_run_denovo_reduction(self, capsys):
+        assert main(
+            ["run", "reduction", "--sms", "2", "--protocol", "denovo", "--warps", "2"]
+        ) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_run_per_sm(self, capsys):
+        assert main(["run", "streaming", "--sms", "2", "--per-sm"]) == 0
+        out = capsys.readouterr().out
+        assert "sm0" in out and "sm1" in out
+
+    def test_run_uts_small(self, capsys):
+        assert main(
+            ["run", "uts", "--sms", "2", "--nodes", "20", "--warps", "2"]
+        ) == 0
+        assert "synchronization" in capsys.readouterr().out
+
+    def test_run_gto_scheduler(self, capsys):
+        assert main(["run", "streaming", "--sms", "1", "--scheduler", "gto"]) == 0
+
+    def test_run_implicit_stash(self, capsys):
+        assert main(["run", "implicit_stash", "--warps", "4"]) == 0
+        assert "implicit_stash" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Unit tests for the coherence policy objects themselves."""
+
+import pytest
+
+from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.coherence import make_protocol
+from repro.mem.coherence.denovo import DeNovoCoherence
+from repro.mem.coherence.gpu_coherence import GpuCoherence
+from repro.noc.message import MsgType
+from repro.sim.config import Protocol
+
+
+class TestGpuCoherencePolicy:
+    def setup_method(self):
+        self.proto = GpuCoherence()
+        self.l1 = SetAssocCache(4, 2)
+
+    def test_acquire_drops_everything(self):
+        assert not self.proto.keeps_owned_on_acquire()
+
+    def test_stores_never_local(self):
+        self.l1.insert(0x10, LineState.VALID)
+        assert not self.proto.store_completes_locally(self.l1, 0x10)
+
+    def test_drains_as_write_through(self):
+        assert self.proto.drain_message_type() is MsgType.PUT_WT
+
+    def test_no_allocate_on_store_ack(self):
+        assert self.proto.state_after_store_ack() is None
+
+    def test_no_eviction_writeback(self):
+        assert not self.proto.needs_eviction_writeback(LineState.VALID)
+
+
+class TestDeNovoPolicy:
+    def setup_method(self):
+        self.proto = DeNovoCoherence()
+        self.l1 = SetAssocCache(4, 2)
+
+    def test_acquire_keeps_owned(self):
+        assert self.proto.keeps_owned_on_acquire()
+
+    def test_store_local_only_when_owned(self):
+        self.l1.insert(0x10, LineState.VALID)
+        assert not self.proto.store_completes_locally(self.l1, 0x10)
+        self.l1.set_state(0x10, LineState.OWNED)
+        assert self.proto.store_completes_locally(self.l1, 0x10)
+
+    def test_drains_as_ownership_request(self):
+        assert self.proto.drain_message_type() is MsgType.GETO
+
+    def test_store_ack_installs_owned(self):
+        assert self.proto.state_after_store_ack() is LineState.OWNED
+
+    def test_owned_eviction_writes_back(self):
+        assert self.proto.needs_eviction_writeback(LineState.OWNED)
+        assert not self.proto.needs_eviction_writeback(LineState.VALID)
+
+
+class TestFactory:
+    def test_make_protocol(self):
+        assert isinstance(make_protocol(Protocol.GPU_COHERENCE), GpuCoherence)
+        assert isinstance(make_protocol(Protocol.DENOVO), DeNovoCoherence)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_protocol("mesi")  # type: ignore[arg-type]

@@ -1,0 +1,90 @@
+"""Tests for SystemConfig validation and derived quantities."""
+
+import pytest
+
+from repro.sim.config import LocalMemory, Protocol, SystemConfig
+
+
+class TestDefaultsMatchTable51:
+    def test_topology(self):
+        cfg = SystemConfig()
+        assert cfg.num_sms == 15
+        assert cfg.num_cpus == 1
+        assert cfg.num_nodes == 16
+
+    def test_frequencies(self):
+        cfg = SystemConfig()
+        assert cfg.cpu_freq_ghz == 2.0
+        assert cfg.gpu_freq_ghz == 0.7
+
+    def test_memory_sizes(self):
+        cfg = SystemConfig()
+        assert cfg.l1_size == 32 * 1024
+        assert cfg.l2_size == 4 * 1024 * 1024
+        assert cfg.scratchpad_size == 16 * 1024
+        assert cfg.scratchpad_banks == 32
+        assert cfg.mshr_entries == 32
+        assert cfg.store_buffer_entries == 32
+
+    def test_derived_geometry(self):
+        cfg = SystemConfig()
+        assert cfg.l1_sets == 64          # 32KB / (64B * 8 ways)
+        assert cfg.l2_sets_per_bank == 256  # 4MB / (64B * 16 * 16)
+        assert cfg.offset_bits == 6
+
+    def test_line_of(self):
+        cfg = SystemConfig()
+        assert cfg.line_of(0) == 0
+        assert cfg.line_of(63) == 0
+        assert cfg.line_of(64) == 1
+        assert cfg.line_of(0x1000) == 64
+
+    def test_table_rows_render(self):
+        rows = dict(SystemConfig().table51_rows())
+        assert rows["GPU SMs"] == "15"
+        assert rows["CPU frequency"] == "2 GHz"
+        assert "4 MB" in rows["L2 size"]
+
+
+class TestValidation:
+    def test_mesh_capacity(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_sms=20)
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            SystemConfig(line_size=48)
+
+    def test_l1_geometry(self):
+        with pytest.raises(ValueError):
+            SystemConfig(l1_size=1000)
+
+    def test_positive_entries(self):
+        with pytest.raises(ValueError):
+            SystemConfig(mshr_entries=0)
+        with pytest.raises(ValueError):
+            SystemConfig(store_buffer_entries=0)
+
+    def test_scheduler_names(self):
+        with pytest.raises(ValueError):
+            SystemConfig(warp_scheduler="fifo")
+        SystemConfig(warp_scheduler="gto")  # ok
+
+
+class TestScaled:
+    def test_scaled_returns_modified_copy(self):
+        base = SystemConfig()
+        swept = base.scaled(mshr_entries=256, store_buffer_entries=256)
+        assert swept.mshr_entries == 256
+        assert base.mshr_entries == 32
+
+    def test_scaled_validates(self):
+        with pytest.raises(ValueError):
+            SystemConfig().scaled(mshr_entries=0)
+
+    def test_enum_fields(self):
+        cfg = SystemConfig().scaled(
+            protocol=Protocol.DENOVO, local_memory=LocalMemory.STASH
+        )
+        assert cfg.protocol is Protocol.DENOVO
+        assert cfg.local_memory is LocalMemory.STASH

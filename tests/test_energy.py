@@ -1,0 +1,69 @@
+"""Tests for the activity-based energy/traffic accounting extension."""
+
+import pytest
+
+from repro.core.energy import EnergyModel, EnergyReport, compare_energy, estimate_energy
+from repro.sim.config import SystemConfig
+from repro.system import run_workload
+from repro.workloads.synthetic import ComputeHeavyWorkload, StreamingWorkload
+
+
+@pytest.fixture(scope="module")
+def streaming_result():
+    return run_workload(SystemConfig(num_sms=2), StreamingWorkload(num_tbs=2))
+
+
+class TestEnergyReport:
+    def test_total_is_sum_of_components(self, streaming_result):
+        report = estimate_energy(streaming_result)
+        assert report.total_pj == pytest.approx(sum(report.components.values()))
+        assert report.total_nj == pytest.approx(report.total_pj / 1000.0)
+
+    def test_fractions_sum_to_one(self, streaming_result):
+        report = estimate_energy(streaming_result)
+        assert sum(report.fraction(c) for c in report.components) == pytest.approx(1.0)
+
+    def test_rows_sorted_descending(self, streaming_result):
+        rows = estimate_energy(streaming_result).rows()
+        values = [v for _, v in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_render_mentions_traffic(self, streaming_result):
+        text = estimate_energy(streaming_result).render()
+        assert "network traffic" in text
+        assert "nJ total" in text
+
+    def test_empty_report_is_safe(self):
+        report = EnergyReport()
+        assert report.total_pj == 0
+        assert report.fraction("dram") == 0.0
+
+
+class TestModelSensitivity:
+    def test_custom_model_scales_components(self, streaming_result):
+        cheap = estimate_energy(streaming_result, EnergyModel(dram_access=0.0))
+        rich = estimate_energy(streaming_result, EnergyModel(dram_access=5000.0))
+        assert rich.components["dram"] >= cheap.components["dram"]
+
+    def test_traffic_counters_track_mesh(self, streaming_result):
+        report = estimate_energy(streaming_result)
+        assert report.traffic_messages == streaming_result.stats["mesh"]["messages"]
+        assert report.traffic_hops >= report.traffic_messages  # >=1 hop avg here
+
+
+class TestWorkloadContrast:
+    def test_memory_bound_spends_more_on_memory_than_compute_bound(self):
+        mem = run_workload(SystemConfig(num_sms=2), StreamingWorkload(num_tbs=2))
+        cpu = run_workload(SystemConfig(num_sms=2), ComputeHeavyWorkload())
+        mem_rep = estimate_energy(mem)
+        cpu_rep = estimate_energy(cpu)
+        mem_frac = mem_rep.fraction("l2") + mem_rep.fraction("dram") + mem_rep.fraction("noc")
+        cpu_frac = cpu_rep.fraction("l2") + cpu_rep.fraction("dram") + cpu_rep.fraction("noc")
+        assert mem_frac > cpu_frac
+
+    def test_compare_energy_table(self):
+        a = run_workload(SystemConfig(num_sms=2), StreamingWorkload(num_tbs=2))
+        b = run_workload(SystemConfig(num_sms=2), ComputeHeavyWorkload())
+        text = compare_energy({"stream": a, "compute": b})
+        assert "TOTAL" in text
+        assert "stream" in text and "compute" in text

@@ -1,0 +1,137 @@
+"""Unit tests for the hybrid cycle/event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class Counter:
+    """Tickable that counts its ticks and can deactivate itself."""
+
+    def __init__(self, engine, stop_after=None):
+        self.engine = engine
+        self.ticks = 0
+        self.tid = engine.register(self)
+        self.stop_after = stop_after
+
+    def start(self):
+        self.engine.activate(self.tid, self)
+
+    def tick(self):
+        self.ticks += 1
+        if self.stop_after is not None and self.ticks >= self.stop_after:
+            self.engine.deactivate(self.tid)
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(5, lambda: order.append("b"))
+    engine.schedule(2, lambda: order.append("a"))
+    engine.schedule(9, lambda: order.append("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 9
+
+
+def test_ties_break_in_schedule_order():
+    engine = Engine()
+    order = []
+    for name in "abcd":
+        engine.schedule(3, lambda n=name: order.append(n))
+    engine.run()
+    assert order == list("abcd")
+
+
+def test_clock_jumps_over_idle_gaps():
+    engine = Engine()
+    seen = []
+    engine.schedule(1_000_000, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [1_000_000]
+    # No per-cycle work happened: only one event processed.
+    assert engine.events_processed == 1
+
+
+def test_tickables_tick_every_cycle_while_active():
+    engine = Engine()
+    counter = Counter(engine, stop_after=10)
+    counter.start()
+    engine.run()
+    assert counter.ticks == 10
+    assert engine.now == 10
+
+
+def test_event_wakes_before_tick_same_cycle():
+    """An event at cycle W runs before W's ticks (wake-up semantics)."""
+    engine = Engine()
+    log = []
+
+    class T:
+        def __init__(self):
+            self.tid = engine.register(self)
+
+        def tick(self):
+            log.append(("tick", engine.now))
+            engine.deactivate(self.tid)
+
+    t = T()
+    engine.schedule(7, lambda: (log.append(("event", engine.now)), engine.activate(t.tid, t)))
+    engine.run()
+    assert log == [("event", 7), ("tick", 7)]
+
+
+def test_stop_ends_run():
+    engine = Engine()
+    engine.schedule(3, engine.stop)
+    engine.schedule(100, lambda: pytest.fail("should not run"))
+    assert engine.run() == 3
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    engine = Engine()
+    engine.schedule(5, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(2, lambda: None)
+
+
+def test_livelock_guard_trips():
+    engine = Engine()
+    counter = Counter(engine)  # never deactivates
+    counter.start()
+    with pytest.raises(RuntimeError, match="livelock"):
+        engine.run(max_cycles=100)
+
+
+def test_events_during_tick_run_next_iteration():
+    engine = Engine()
+    log = []
+
+    class T:
+        def __init__(self):
+            self.tid = engine.register(self)
+            self.ticked = False
+
+        def tick(self):
+            if not self.ticked:
+                self.ticked = True
+                engine.schedule(0, lambda: log.append(engine.now))
+            else:
+                engine.deactivate(self.tid)
+
+    t = T()
+    engine.activate(t.tid, t)
+    engine.run()
+    assert log == [1]  # zero-delay event from tick at 0 lands at cycle 1
+
+
+def test_run_returns_immediately_with_no_work():
+    engine = Engine()
+    assert engine.run() == 0

@@ -1,0 +1,87 @@
+"""Tests for the experiment harness (tiny problem sizes)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.runner import EXPERIMENTS, run
+
+
+class TestTable51:
+    def test_renders_all_parameters(self):
+        text = figures.table51()
+        for needle in ("700 MHz", "2 GHz", "16 KB", "32 KB", "4 MB"):
+            assert needle in text
+
+
+class TestFig61Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.fig61(total_nodes=30, warps_per_tb=2)
+
+    def test_two_configs(self, result):
+        assert set(result.results) == {"gpu-coh", "denovo"}
+
+    def test_render_contains_tables_and_claims(self, result):
+        text = result.render()
+        assert "execution time breakdown" in text
+        assert "shape claims:" in text
+        assert "fig6.1-uts" in text
+
+    def test_sync_dominates_claim_holds(self, result):
+        claim = next(c for c in result.claims if "dominate" in c.text)
+        assert claim.holds
+
+
+class TestFig63Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.fig63(num_tbs=2, warps_per_tb=8)
+
+    def test_three_configs(self, result):
+        assert set(result.results) == {"scratchpad", "scratchpad+dma", "stash"}
+
+    def test_all_claims_hold(self, result):
+        failed = [str(c) for c in result.claims if not c.holds]
+        assert not failed, failed
+
+    def test_claim_string_format(self, result):
+        text = str(result.claims[0])
+        assert text.startswith("[OK ]") or text.startswith("[DEV]")
+        assert "paper:" in text
+
+
+class TestFig64Small:
+    def test_sweep_keys_and_claims(self):
+        sweep = figures.fig64(mshr_sizes=(32, 256), num_tbs=2, warps_per_tb=8)
+        assert set(sweep) == {32, 256}
+        assert sweep[256].claims  # claims attach to the largest size
+        failed = [str(c) for c in sweep[256].claims if not c.holds]
+        assert not failed, failed
+
+
+class TestOverhead:
+    def test_overhead_stats_shape(self):
+        stats = figures.overhead_experiment(repeats=1)
+        assert set(stats) == {"with_gsi_s", "without_gsi_s", "overhead_pct"}
+        assert stats["with_gsi_s"] > 0
+        assert stats["without_gsi_s"] > 0
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table5.1",
+            "fig6.1",
+            "fig6.2",
+            "fig6.3",
+            "fig6.4",
+            "overhead",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run(["fig9.9"])
+
+    def test_table_runs_standalone(self):
+        out = run(["table5.1"])
+        assert "Table 5.1" in out

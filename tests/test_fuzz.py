@@ -1,0 +1,150 @@
+"""Whole-simulator fuzzing: random kernels must complete and attribute
+every cycle.
+
+Hypothesis generates random warp programs (mixes of compute, loads, stores,
+atomics, barriers over a small address pool) and random configurations; the
+invariants checked are the ones every figure in the paper rests on:
+
+* the simulation terminates (no lost wake-ups, no livelock),
+* every SM attributes exactly ``cycles`` cycles,
+* the sub-taxonomies never exceed their parent categories,
+* reruns are bit-identical (determinism).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakdown import StallBreakdown
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import uniform_grid
+from repro.sim.config import Protocol, SystemConfig
+from repro.system import System
+
+_ADDR_POOL = [0x10_0000 + i * 64 for i in range(24)]
+_ATOMIC_POOL = [0x20_0000 + i * 64 for i in range(4)]
+
+
+def _random_program(rng: random.Random, length: int, use_barrier: bool):
+    """Build a deterministic instruction list from the fuzz RNG."""
+    instrs = []
+    for _ in range(length):
+        kind = rng.randrange(8)
+        if kind < 2:
+            instrs.append(Instruction.alu(dst=rng.randrange(1, 8), srcs=(1,)))
+        elif kind < 4:
+            addr = rng.choice(_ADDR_POOL)
+            instrs.append(
+                Instruction.load(
+                    [addr + i * 4 for i in range(rng.choice([1, 8, 32]))],
+                    dst=rng.randrange(1, 8),
+                )
+            )
+        elif kind == 4:
+            addr = rng.choice(_ADDR_POOL)
+            instrs.append(Instruction.store([addr], srcs=(1,)))
+        elif kind == 5:
+            instrs.append(
+                Instruction.atomic_add(
+                    rng.choice(_ATOMIC_POOL), 1, returns_value=rng.random() < 0.5
+                )
+            )
+        elif kind == 6 and use_barrier:
+            instrs.append(Instruction.barrier())
+        else:
+            instrs.append(Instruction.sfu(dst=rng.randrange(1, 8)))
+    return instrs
+
+
+kernel_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),    # thread blocks
+    st.integers(min_value=1, max_value=4),    # warps per block
+    st.integers(min_value=1, max_value=20),   # program length
+    st.booleans(),                             # barriers allowed
+    st.integers(min_value=0, max_value=2**16)  # program seed
+)
+
+configs = st.tuples(
+    st.integers(min_value=1, max_value=4),     # SMs
+    st.sampled_from([Protocol.GPU_COHERENCE, Protocol.DENOVO]),
+    st.sampled_from([2, 8, 32]),               # MSHR entries
+    st.sampled_from([2, 32]),                  # store buffer entries
+)
+
+
+def _build_and_run(shape, cfg_tuple):
+    num_tbs, warps, length, barriers, seed = shape
+    num_sms, protocol, mshr, sb = cfg_tuple
+
+    def factory(tb, w):
+        def program(ctx):
+            rng = random.Random(seed ^ (tb << 8) ^ w)
+            for instr in _random_program(rng, length, barriers):
+                yield instr
+
+        return program
+
+    kernel = uniform_grid("fuzz", num_tbs, warps, factory)
+    config = SystemConfig(
+        num_sms=num_sms,
+        protocol=protocol,
+        mshr_entries=mshr,
+        store_buffer_entries=sb,
+        max_cycles=2_000_000,
+    )
+    system = System(config)
+    return system.run_kernel(kernel)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_shapes, configs)
+def test_random_kernels_complete_and_attribute_everything(shape, cfg_tuple):
+    result = _build_and_run(shape, cfg_tuple)
+    assert result.cycles > 0
+    for sm_bd in result.per_sm:
+        assert sm_bd.total_cycles == result.cycles
+        sm_bd.validate()
+    result.breakdown.validate()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_shapes, configs)
+def test_random_kernels_are_deterministic(shape, cfg_tuple):
+    a = _build_and_run(shape, cfg_tuple)
+    b = _build_and_run(shape, cfg_tuple)
+    assert a.cycles == b.cycles
+    assert a.breakdown.counts == b.breakdown.counts
+    assert a.breakdown.mem_data == b.breakdown.mem_data
+    assert a.breakdown.mem_struct == b.breakdown.mem_struct
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_shapes)
+def test_gsi_is_observational_under_fuzz(shape):
+    """Disabling the inspector never changes simulated timing."""
+    cfg = (2, Protocol.GPU_COHERENCE, 8, 8)
+    on = _build_and_run(shape, cfg)
+
+    num_tbs, warps, length, barriers, seed = shape
+
+    def factory(tb, w):
+        def program(ctx):
+            rng = random.Random(seed ^ (tb << 8) ^ w)
+            for instr in _random_program(rng, length, barriers):
+                yield instr
+
+        return program
+
+    kernel = uniform_grid("fuzz", num_tbs, warps, factory)
+    system = System(
+        SystemConfig(
+            num_sms=2,
+            mshr_entries=8,
+            store_buffer_entries=8,
+            gsi_enabled=False,
+            max_cycles=2_000_000,
+        )
+    )
+    off = system.run_kernel(kernel)
+    assert on.cycles == off.cycles

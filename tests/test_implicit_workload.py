@@ -1,0 +1,152 @@
+"""Tests for the implicit microbenchmark variants (case study 2)."""
+
+import pytest
+
+from repro.core.stall_types import MemStructCause, StallType
+from repro.sim.config import LocalMemory, Protocol, SystemConfig
+from repro.system import System, run_workload
+from repro.workloads.implicit import (
+    ImplicitDma,
+    ImplicitScratchpad,
+    ImplicitStash,
+    implicit_variants,
+)
+
+SMALL = dict(num_tbs=2, warps_per_tb=4)
+
+
+class TestConfiguration:
+    def test_single_sm_enforced(self):
+        cfg = ImplicitScratchpad().configure(SystemConfig())
+        assert cfg.num_sms == 1
+
+    def test_local_memory_selected(self):
+        assert (
+            ImplicitScratchpad().configure(SystemConfig()).local_memory
+            is LocalMemory.SCRATCHPAD
+        )
+        assert (
+            ImplicitDma().configure(SystemConfig()).local_memory
+            is LocalMemory.SCRATCHPAD_DMA
+        )
+        assert (
+            ImplicitStash().configure(SystemConfig()).local_memory
+            is LocalMemory.STASH
+        )
+
+    def test_stash_uses_denovo(self):
+        assert ImplicitStash().configure(SystemConfig()).protocol is Protocol.DENOVO
+
+    def test_variants_factory(self):
+        v = implicit_variants(**SMALL)
+        assert set(v) == {"scratchpad", "scratchpad+dma", "stash"}
+
+
+class TestFunctionalCorrectness:
+    """Each variant must write results back to the global array: we check
+    the values moved (copy-in then copy-out touched every element)."""
+
+    def _run(self, wl):
+        cfg = wl.configure(SystemConfig())
+        system = System(cfg)
+        system.run(wl)
+        return system, cfg
+
+    @pytest.mark.parametrize(
+        "wl_cls", [ImplicitScratchpad, ImplicitDma, ImplicitStash]
+    )
+    def test_kernel_completes(self, wl_cls):
+        system, cfg = self._run(wl_cls(**SMALL))
+        assert system.engine.now > 0
+
+    def test_dma_roundtrip_preserves_data(self):
+        """The DMA copies in and back out: global data must survive."""
+        wl = ImplicitDma(**SMALL)
+        system, cfg = self._run(wl)
+        # the first element of each chunk was initialized and written back
+        for tb in range(SMALL["num_tbs"]):
+            addr = wl.global_chunk(cfg, tb)
+            assert system.memory.load_word(addr) == (tb << 16)
+
+
+class TestStallShape:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: run_workload(SystemConfig(), wl)
+            for name, wl in implicit_variants(**SMALL).items()
+        }
+
+    def test_both_innovations_faster(self, results):
+        base = results["scratchpad"].cycles
+        assert results["scratchpad+dma"].cycles < base
+        assert results["stash"].cycles < base
+
+    def test_no_stall_cycles_reduced(self, results):
+        base = results["scratchpad"].breakdown.counts[StallType.NO_STALL]
+        assert results["scratchpad+dma"].breakdown.counts[StallType.NO_STALL] < base
+        assert results["stash"].breakdown.counts[StallType.NO_STALL] < base
+
+    def test_pending_dma_only_in_dma_variant(self, results):
+        assert (
+            results["scratchpad+dma"].breakdown.mem_struct[MemStructCause.PENDING_DMA]
+            > 0
+        )
+        for other in ("scratchpad", "stash"):
+            assert (
+                results[other].breakdown.mem_struct[MemStructCause.PENDING_DMA] == 0
+            )
+
+    def test_baseline_has_bank_conflicts_and_sb_pressure(self, results):
+        bd = results["scratchpad"].breakdown
+        assert bd.mem_struct[MemStructCause.BANK_CONFLICT] > 0
+        assert bd.mem_struct[MemStructCause.STORE_BUFFER_FULL] > 0
+
+    def test_dma_bank_conflicts_insignificant(self, results):
+        assert (
+            results["scratchpad+dma"].breakdown.mem_struct[
+                MemStructCause.BANK_CONFLICT
+            ]
+            < results["scratchpad"].breakdown.mem_struct[MemStructCause.BANK_CONFLICT]
+        )
+
+    def test_pending_release_absent(self, results):
+        """implicit has no release operations at all."""
+        for r in results.values():
+            assert r.breakdown.mem_struct[MemStructCause.PENDING_RELEASE] == 0
+
+
+class TestMshrSweepShape:
+    def test_bigger_mshr_removes_mshr_stalls(self):
+        # Needs the figure's 8-warp geometry: 4 warps only reach 32
+        # outstanding lines and never fill a 32-entry MSHR.
+        small = run_workload(
+            SystemConfig(mshr_entries=32, store_buffer_entries=32),
+            ImplicitScratchpad(num_tbs=2, warps_per_tb=8),
+        )
+        big = run_workload(
+            SystemConfig(mshr_entries=256, store_buffer_entries=256),
+            ImplicitScratchpad(num_tbs=2, warps_per_tb=8),
+        )
+        assert (
+            big.breakdown.mem_struct[MemStructCause.MSHR_FULL]
+            < small.breakdown.mem_struct[MemStructCause.MSHR_FULL]
+        )
+        assert (
+            big.breakdown.counts[StallType.MEM_DATA]
+            > small.breakdown.counts[StallType.MEM_DATA]
+        )
+
+    def test_dma_pending_stalls_grow_with_mshr(self):
+        small = run_workload(
+            SystemConfig(mshr_entries=32, store_buffer_entries=32),
+            ImplicitDma(**SMALL),
+        )
+        big = run_workload(
+            SystemConfig(mshr_entries=256, store_buffer_entries=256),
+            ImplicitDma(**SMALL),
+        )
+        assert (
+            big.breakdown.mem_struct[MemStructCause.PENDING_DMA]
+            > small.breakdown.mem_struct[MemStructCause.PENDING_DMA]
+        )

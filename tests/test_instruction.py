@@ -1,0 +1,82 @@
+"""Unit tests for the warp-instruction model."""
+
+import pytest
+
+from repro.gpu.instruction import Instruction, MapMode, Op, Space
+
+
+class TestConstructors:
+    def test_alu(self):
+        i = Instruction.alu(dst=3, srcs=(1, 2), latency=6)
+        assert i.op is Op.ALU
+        assert i.dst == 3 and i.srcs == (1, 2) and i.latency == 6
+        assert not i.is_memory and not i.is_sync
+
+    def test_load_defaults_value_addr(self):
+        i = Instruction.load([0x100, 0x104], dst=1)
+        assert i.value_addr == 0x100
+        assert i.is_memory
+
+    def test_load_requires_addresses(self):
+        with pytest.raises(ValueError):
+            Instruction.load([])
+
+    def test_store_carries_value(self):
+        i = Instruction.store([0x40], value=7)
+        assert i.store_value() == 7
+        assert Instruction.store([0x40]).store_value() is None
+
+    def test_store_requires_addresses(self):
+        with pytest.raises(ValueError):
+            Instruction.store([])
+
+    def test_barrier_is_sync(self):
+        assert Instruction.barrier().is_sync
+
+    def test_spaces(self):
+        assert Instruction.load([0], space=Space.SCRATCH).space is Space.SCRATCH
+        assert Instruction.load([0], space=Space.STASH).space is Space.STASH
+
+
+class TestAtomics:
+    def test_cas_semantics(self):
+        i = Instruction.atomic_cas(0x40, expect=0, new=1, acquire=True)
+        assert i.acquire and not i.release and i.returns_value
+        new, old = i.atomic_fn(0)
+        assert (new, old) == (1, 0)
+        new, old = i.atomic_fn(5)
+        assert (new, old) == (5, 5)  # failed CAS leaves value
+
+    def test_add_semantics(self):
+        i = Instruction.atomic_add(0x40, 3)
+        assert i.atomic_fn(10) == (13, 10)
+        assert not i.acquire and not i.release
+
+    def test_exch_semantics(self):
+        i = Instruction.atomic_exch(0x40, 0, release=True)
+        assert i.atomic_fn(1) == (0, 1)
+        assert i.is_sync
+
+    def test_release_exch_is_fire_and_forget_by_default(self):
+        unlock = Instruction.atomic_exch(0x40, 0, release=True)
+        assert not unlock.returns_value
+        plain = Instruction.atomic_exch(0x40, 0)
+        assert plain.returns_value
+        forced = Instruction.atomic_exch(0x40, 0, release=True, returns_value=True)
+        assert forced.returns_value
+
+
+class TestMapInstructions:
+    def test_dma_in(self):
+        i = Instruction.dma_to_scratch(0, 0x1000, 4096)
+        assert i.map_mode is MapMode.DMA_TO_SCRATCH
+        assert (i.map_scratch_base, i.map_global_base, i.map_size) == (0, 0x1000, 4096)
+
+    def test_dma_out(self):
+        i = Instruction.dma_to_global(0, 0x1000, 4096)
+        assert i.map_mode is MapMode.DMA_TO_GLOBAL
+
+    def test_stash_map(self):
+        i = Instruction.stash_map(256, 0x2000, 1024)
+        assert i.map_mode is MapMode.STASH_MAP
+        assert not i.is_memory

@@ -1,0 +1,85 @@
+"""Unit tests for the MSHR (miss tracking and secondary-miss merging)."""
+
+import pytest
+
+from repro.mem.mshr import Mshr
+
+
+class TestAllocation:
+    def test_allocate_and_complete(self):
+        mshr = Mshr(capacity=2)
+        entry = mshr.allocate(0x10, req_id=1)
+        assert mshr.occupancy == 1
+        assert mshr.lookup(0x10) is entry
+        done = mshr.complete(0x10)
+        assert done is entry
+        assert mshr.occupancy == 0
+
+    def test_double_allocate_same_line_rejected(self):
+        mshr = Mshr(capacity=4)
+        mshr.allocate(0x10, req_id=1)
+        with pytest.raises(ValueError):
+            mshr.allocate(0x10, req_id=2)
+
+    def test_overflow_rejected(self):
+        mshr = Mshr(capacity=1)
+        mshr.allocate(0x10, req_id=1)
+        assert mshr.is_full()
+        with pytest.raises(RuntimeError):
+            mshr.allocate(0x20, req_id=2)
+
+    def test_complete_unknown_line_raises(self):
+        mshr = Mshr(capacity=1)
+        with pytest.raises(KeyError):
+            mshr.complete(0x10)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Mshr(capacity=0)
+
+
+class TestMerging:
+    def test_secondary_miss_merges(self):
+        """A second miss to an in-flight line coalesces -- the paper's
+        'L1 coalescing' memory-data sub-class."""
+        mshr = Mshr(capacity=1)
+        entry = mshr.allocate(0x10, req_id=1)
+        waiter = object()
+        merged = mshr.merge(0x10, waiter)
+        assert merged is entry
+        assert entry.merged_waiters == [waiter]
+        assert mshr.merges == 1
+        # Merging consumed no extra entry.
+        assert mshr.occupancy == 1
+
+    def test_merge_while_full_is_allowed(self):
+        mshr = Mshr(capacity=1)
+        mshr.allocate(0x10, req_id=1)
+        assert mshr.is_full()
+        mshr.merge(0x10, object())  # does not raise
+
+    def test_merge_unknown_line_raises(self):
+        mshr = Mshr(capacity=1)
+        with pytest.raises(KeyError):
+            mshr.merge(0x10, object())
+
+
+class TestStats:
+    def test_peak_occupancy_tracked(self):
+        mshr = Mshr(capacity=4)
+        for i in range(3):
+            mshr.allocate(i, req_id=i)
+        mshr.complete(0)
+        assert mshr.peak_occupancy == 3
+
+    def test_outstanding_lines(self):
+        mshr = Mshr(capacity=4)
+        mshr.allocate(5, req_id=1)
+        mshr.allocate(9, req_id=2)
+        assert sorted(mshr.outstanding_lines()) == [5, 9]
+
+    def test_rejection_counter(self):
+        mshr = Mshr(capacity=1)
+        mshr.note_rejection()
+        mshr.note_rejection()
+        assert mshr.full_rejections == 2

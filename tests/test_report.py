@@ -1,0 +1,91 @@
+"""Tests for breakdown rendering and export."""
+
+from repro.core.breakdown import StallBreakdown
+from repro.core.report import (
+    format_mem_data_table,
+    format_mem_struct_table,
+    format_stacked_bars,
+    format_table,
+    summarize,
+    to_csv,
+)
+from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
+
+
+def sample(no_stall=50, sync=30, mem_data=15, mem_struct=5):
+    bd = StallBreakdown()
+    bd.add(StallType.NO_STALL, no_stall)
+    bd.add(StallType.SYNC, sync)
+    bd.add(StallType.MEM_DATA, mem_data)
+    bd.add(StallType.MEM_STRUCT, mem_struct)
+    bd.add_mem_data(ServiceLocation.L2, mem_data - 5)
+    bd.add_mem_data(ServiceLocation.REMOTE_L1, 5)
+    bd.add_mem_struct(MemStructCause.PENDING_RELEASE, mem_struct)
+    return bd
+
+
+def pair():
+    return {"baseline": sample(), "improved": sample(no_stall=40, sync=10)}
+
+
+class TestTables:
+    def test_table_contains_all_types_and_configs(self):
+        text = format_table(pair(), baseline="baseline")
+        for stall in StallType:
+            assert stall.value in text
+        assert "baseline" in text and "improved" in text
+
+    def test_baseline_total_is_one(self):
+        text = format_table(pair(), baseline="baseline")
+        total_line = [l for l in text.splitlines() if l.startswith("total")][0]
+        assert "1.0000" in total_line
+
+    def test_default_baseline_is_first(self):
+        a = format_table(pair())
+        b = format_table(pair(), baseline="baseline")
+        assert a == b
+
+    def test_mem_data_table(self):
+        text = format_mem_data_table(pair(), baseline="baseline")
+        assert "remote_l1" in text
+        assert "l1_coalescing" in text
+
+    def test_mem_struct_table(self):
+        text = format_mem_struct_table(pair(), baseline="baseline")
+        assert "pending_release" in text
+        assert "1.0000" in text
+
+    def test_mem_tables_handle_zero_baseline(self):
+        empty = {"a": StallBreakdown(), "b": StallBreakdown()}
+        assert "0.0000" in format_mem_data_table(empty)
+        assert "0.0000" in format_mem_struct_table(empty)
+
+
+class TestBarsAndCsv:
+    def test_stacked_bars_have_legend_and_rows(self):
+        text = format_stacked_bars(pair(), baseline="baseline", width=40)
+        assert "legend:" in text
+        assert text.count("|") >= 2
+
+    def test_bar_length_tracks_total(self):
+        bars = format_stacked_bars(
+            {"short": sample(no_stall=10, sync=0, mem_data=0, mem_struct=0),
+             "long": sample(no_stall=100, sync=0, mem_data=0, mem_struct=0)},
+            baseline="long",
+            width=50,
+        ).splitlines()
+        short_row = next(l for l in bars if l.startswith("short"))
+        long_row = next(l for l in bars if l.startswith("long"))
+        assert len(long_row) > len(short_row)
+
+    def test_csv_roundtrip_counts(self):
+        text = to_csv({"cfg": sample()})
+        lines = text.strip().splitlines()
+        assert lines[0] == "config,category,cycles"
+        data = {row.split(",")[1]: int(row.split(",")[2]) for row in lines[1:]}
+        assert data["no_stall"] == 50
+        assert data["mem_data:remote_l1"] == 5
+
+    def test_summarize_names_dominant(self):
+        assert "no_stall" in summarize("x", sample())
+        assert "x:" in summarize("x", sample())

@@ -1,0 +1,96 @@
+"""Unit tests for warp schedulers and compute units."""
+
+import pytest
+
+from repro.gpu.compute_unit import ComputeUnits
+from repro.gpu.scheduler import GreedyThenOldest, LooseRoundRobin, make_scheduler
+from repro.sim.config import SystemConfig
+
+
+class FakeWarp:
+    def __init__(self, warp_id):
+        self.ctx = type("Ctx", (), {"warp_id": warp_id})()
+
+    def __repr__(self):
+        return "W%d" % self.ctx.warp_id
+
+
+def ids(warps):
+    return [w.ctx.warp_id for w in warps]
+
+
+class TestLrr:
+    def test_rotates_after_issue(self):
+        sched = LooseRoundRobin()
+        warps = [FakeWarp(i) for i in range(4)]
+        assert ids(sched.order(warps, 0)) == [0, 1, 2, 3]
+        sched.note_issue(warps[0], 0, 0)
+        assert ids(sched.order(warps, 1)) == [1, 2, 3, 0]
+        sched.note_issue(warps[1], 0, 1)
+        assert ids(sched.order(warps, 2)) == [2, 3, 0, 1]
+
+    def test_empty_list(self):
+        assert LooseRoundRobin().order([], 0) == []
+
+    def test_rotation_wraps(self):
+        sched = LooseRoundRobin()
+        warps = [FakeWarp(i) for i in range(2)]
+        for _ in range(5):
+            sched.note_issue(warps[0], 0, 0)
+        assert ids(sched.order(warps, 0)) == [1, 0]
+
+
+class TestGto:
+    def test_greedy_warp_stays_first(self):
+        sched = GreedyThenOldest()
+        warps = [FakeWarp(i) for i in range(3)]
+        sched.note_issue(warps[2], 0, 0)
+        assert ids(sched.order(warps, 1)) == [2, 0, 1]
+
+    def test_falls_back_to_oldest_without_greedy(self):
+        sched = GreedyThenOldest()
+        warps = [FakeWarp(3), FakeWarp(1), FakeWarp(2)]
+        assert ids(sched.order(warps, 0)) == [1, 2, 3]
+
+    def test_departed_greedy_is_ignored(self):
+        sched = GreedyThenOldest()
+        gone = FakeWarp(9)
+        sched.note_issue(gone, 0, 0)
+        warps = [FakeWarp(1), FakeWarp(2)]
+        assert ids(sched.order(warps, 0)) == [1, 2]
+
+
+class TestFactory:
+    def test_make(self):
+        assert isinstance(make_scheduler("lrr"), LooseRoundRobin)
+        assert isinstance(make_scheduler("gto"), GreedyThenOldest)
+        with pytest.raises(ValueError):
+            make_scheduler("bogus")
+
+
+class TestComputeUnits:
+    def test_alu_fully_pipelined(self):
+        cu = ComputeUnits(SystemConfig())
+        r1 = cu.issue_alu(now=0)
+        r2 = cu.issue_alu(now=0)
+        assert r1 == r2 == SystemConfig().alu_latency
+        assert cu.alu_issued == 2
+
+    def test_alu_latency_override(self):
+        cu = ComputeUnits(SystemConfig())
+        assert cu.issue_alu(now=10, latency=1) == 11
+
+    def test_sfu_initiation_interval(self):
+        cfg = SystemConfig()
+        cu = ComputeUnits(cfg)
+        assert cu.sfu_ready(0)
+        cu.issue_sfu(now=0)
+        assert not cu.sfu_ready(1)
+        assert cu.sfu_ready(cfg.sfu_initiation_interval)
+        with pytest.raises(RuntimeError):
+            cu.issue_sfu(now=1)
+
+    def test_sfu_latency(self):
+        cfg = SystemConfig()
+        cu = ComputeUnits(cfg)
+        assert cu.issue_sfu(now=5) == 5 + cfg.sfu_latency

@@ -1,0 +1,73 @@
+"""Unit tests for the per-warp scoreboard."""
+
+from repro.gpu.scoreboard import ProducerKind, Scoreboard
+
+
+class TestHazards:
+    def test_no_hazard_on_clean_regs(self):
+        sb = Scoreboard()
+        assert sb.hazard((1, 2, 3), now=0) is None
+
+    def test_compute_hazard_until_ready(self):
+        sb = Scoreboard()
+        sb.set_compute(1, ready_cycle=10)
+        kind, detail = sb.hazard((1,), now=5)
+        assert kind is ProducerKind.COMPUTE and detail == 10
+        assert sb.hazard((1,), now=10) is None
+        # the entry retired lazily
+        assert sb.pending_count(now=10) == 0
+
+    def test_memory_hazard_until_cleared(self):
+        sb = Scoreboard()
+        sb.set_memory(2, tag=99)
+        kind, detail = sb.hazard((2,), now=1000)
+        assert kind is ProducerKind.MEMORY and detail == 99
+        sb.clear_memory_tag(99)
+        assert sb.hazard((2,), now=1000) is None
+
+    def test_memory_hazard_outranks_compute(self):
+        """Algorithm 1 checks the pending-load hazard first."""
+        sb = Scoreboard()
+        sb.set_compute(1, ready_cycle=50)
+        sb.set_memory(2, tag=7)
+        kind, detail = sb.hazard((1, 2), now=0)
+        assert kind is ProducerKind.MEMORY and detail == 7
+
+    def test_clear_memory_tag_clears_all_matching(self):
+        sb = Scoreboard()
+        sb.set_memory(1, tag=5)
+        sb.set_memory(2, tag=5)
+        sb.set_memory(3, tag=6)
+        sb.clear_memory_tag(5)
+        assert sb.hazard((1, 2), now=0) is None
+        assert sb.hazard((3,), now=0) is not None
+
+    def test_overwrite_producer(self):
+        sb = Scoreboard()
+        sb.set_compute(1, ready_cycle=10)
+        sb.set_memory(1, tag=3)
+        kind, _ = sb.hazard((1,), now=0)
+        assert kind is ProducerKind.MEMORY
+
+    def test_clear_single_register(self):
+        sb = Scoreboard()
+        sb.set_memory(4, tag=1)
+        sb.clear(4)
+        assert sb.hazard((4,), now=0) is None
+
+
+class TestWakeHints:
+    def test_next_compute_ready(self):
+        sb = Scoreboard()
+        sb.set_compute(1, ready_cycle=20)
+        sb.set_compute(2, ready_cycle=10)
+        sb.set_memory(3, tag=1)
+        assert sb.next_compute_ready(now=0) == 10
+        assert sb.next_compute_ready(now=15) == 20
+        assert sb.next_compute_ready(now=25) is None
+
+    def test_pending_count_sweeps_expired(self):
+        sb = Scoreboard()
+        sb.set_compute(1, ready_cycle=5)
+        sb.set_compute(2, ready_cycle=50)
+        assert sb.pending_count(now=10) == 1

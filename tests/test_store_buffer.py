@@ -1,0 +1,142 @@
+"""Unit tests for the write-combining store buffer."""
+
+import pytest
+
+from repro.mem.store_buffer import SbEntryState, StoreBuffer
+
+
+def make_sb(capacity=4, write_combining=True, issued=None):
+    issued = issued if issued is not None else []
+    return StoreBuffer(
+        capacity, issue_fn=issued.append, write_combining=write_combining
+    ), issued
+
+
+class TestWriteCombining:
+    def test_stores_to_same_line_combine(self):
+        sb, _ = make_sb()
+        e1 = sb.write(0x10, {0, 4})
+        e2 = sb.write(0x10, {8})
+        assert e1 is e2
+        assert e1.words == {0, 4, 8}
+        assert sb.occupancy == 1
+        assert sb.combines == 1
+
+    def test_no_combining_when_disabled(self):
+        sb, _ = make_sb(write_combining=False)
+        sb.write(0x10)
+        sb.write(0x10)
+        assert sb.occupancy == 2
+        assert sb.combines == 0
+
+    def test_issued_entry_does_not_combine(self):
+        """A store to a line whose entry is in flight allocates fresh."""
+        sb, issued = make_sb()
+        sb.write(0x10)
+        sb.drain_one()
+        assert issued[0].state is SbEntryState.ISSUED
+        e2 = sb.write(0x10)
+        assert e2.state is SbEntryState.PENDING
+        assert sb.occupancy == 2
+
+    def test_ack_targets_the_issued_entry(self):
+        sb, _ = make_sb()
+        sb.write(0x10)
+        first = sb.drain_one()
+        sb.write(0x10)
+        sb.ack(0x10, seq=first.seq)
+        assert sb.occupancy == 1
+        assert sb.has_pending()
+
+
+class TestCapacity:
+    def test_full_rejects_new_lines_but_accepts_combines(self):
+        sb, _ = make_sb(capacity=2)
+        sb.write(0x10)
+        sb.write(0x20)
+        assert sb.is_full()
+        assert not sb.can_accept(0x30)
+        assert sb.can_accept(0x10)  # combinable
+        with pytest.raises(RuntimeError):
+            sb.write(0x30)
+
+    def test_peak_occupancy(self):
+        sb, _ = make_sb(capacity=3)
+        for line in (1, 2, 3):
+            sb.write(line)
+        assert sb.peak_occupancy == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(0, issue_fn=lambda e: None)
+
+
+class TestDrain:
+    def test_drain_is_fifo(self):
+        sb, issued = make_sb()
+        sb.write(0x10)
+        sb.write(0x20)
+        sb.drain_one()
+        sb.drain_one()
+        assert [e.line for e in issued] == [0x10, 0x20]
+
+    def test_drain_empty_returns_none(self):
+        sb, _ = make_sb()
+        assert sb.drain_one() is None
+
+    def test_ack_unknown_raises(self):
+        sb, _ = make_sb()
+        with pytest.raises(KeyError):
+            sb.ack(0x10)
+        sb.write(0x10)
+        with pytest.raises(KeyError):
+            sb.ack(0x10)  # pending, not issued
+
+
+class TestFlushBarriers:
+    def test_flush_on_empty_fires_immediately(self):
+        sb, _ = make_sb()
+        fired = []
+        sb.flush(lambda: fired.append(True))
+        assert fired == [True]
+        assert not sb.flush_in_progress()
+
+    def test_flush_waits_for_all_prior_entries(self):
+        sb, _ = make_sb()
+        sb.write(0x10)
+        sb.write(0x20)
+        fired = []
+        sb.flush(lambda: fired.append(True))
+        assert sb.flush_in_progress()
+        e1 = sb.drain_one()
+        e2 = sb.drain_one()
+        sb.ack(0x10, seq=e1.seq)
+        assert not fired
+        sb.ack(0x20, seq=e2.seq)
+        assert fired == [True]
+
+    def test_flush_ignores_entries_allocated_after_barrier(self):
+        """A release only orders *prior* stores (flush barrier semantics)."""
+        sb, _ = make_sb()
+        sb.write(0x10)
+        fired = []
+        sb.flush(lambda: fired.append(True))
+        sb.write(0x20)  # younger than the barrier
+        e1 = sb.drain_one()
+        sb.ack(0x10, seq=e1.seq)
+        assert fired == [True]
+        assert sb.occupancy == 1  # the younger entry is still there
+
+    def test_multiple_flush_barriers(self):
+        sb, _ = make_sb()
+        sb.write(0x10)
+        order = []
+        sb.flush(lambda: order.append("first"))
+        sb.write(0x20)
+        sb.flush(lambda: order.append("second"))
+        e1 = sb.drain_one()
+        e2 = sb.drain_one()
+        sb.ack(0x10, seq=e1.seq)
+        assert order == ["first"]
+        sb.ack(0x20, seq=e2.seq)
+        assert order == ["first", "second"]

@@ -1,0 +1,99 @@
+"""Tests for the windowed stall timeline extension."""
+
+import pytest
+
+from repro.core.stall_types import StallType
+from repro.core.timeline import Timeline, render_timeline
+from repro.sim.config import SystemConfig
+from repro.system import run_workload
+from repro.workloads.synthetic import StreamingWorkload
+
+
+class TestTimelineBuckets:
+    def test_single_cycle_records(self):
+        tl = Timeline(window=10)
+        tl.record(StallType.SYNC, start_cycle=3)
+        tl.record(StallType.SYNC, start_cycle=12)
+        assert tl.num_windows == 2
+        assert tl.bucket(0).counts[StallType.SYNC] == 1
+        assert tl.bucket(1).counts[StallType.SYNC] == 1
+
+    def test_bulk_record_splits_across_windows(self):
+        tl = Timeline(window=10)
+        tl.record(StallType.MEM_DATA, start_cycle=5, n=20)
+        assert tl.bucket(0).counts[StallType.MEM_DATA] == 5
+        assert tl.bucket(1).counts[StallType.MEM_DATA] == 10
+        assert tl.bucket(2).counts[StallType.MEM_DATA] == 5
+
+    def test_bulk_equals_per_cycle(self):
+        bulk = Timeline(window=7)
+        bulk.record(StallType.IDLE, start_cycle=3, n=25)
+        single = Timeline(window=7)
+        for c in range(3, 28):
+            single.record(StallType.IDLE, start_cycle=c)
+        assert [b.counts for b in bulk.buckets()] == [
+            b.counts for b in single.buckets()
+        ]
+
+    def test_total_matches_recorded(self):
+        tl = Timeline(window=16)
+        tl.record(StallType.SYNC, 0, 100)
+        tl.record(StallType.NO_STALL, 100, 50)
+        total = tl.total()
+        assert total.counts[StallType.SYNC] == 100
+        assert total.counts[StallType.NO_STALL] == 50
+
+    def test_merge(self):
+        a = Timeline(window=8)
+        b = Timeline(window=8)
+        a.record(StallType.SYNC, 0, 8)
+        b.record(StallType.MEM_DATA, 8, 8)
+        merged = a.merge(b)
+        assert merged.bucket(0).counts[StallType.SYNC] == 8
+        assert merged.bucket(1).counts[StallType.MEM_DATA] == 8
+
+    def test_merge_window_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(8).merge(Timeline(16))
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(0)
+
+    def test_dominant_series(self):
+        tl = Timeline(window=4)
+        tl.record(StallType.SYNC, 0, 4)
+        tl.record(StallType.NO_STALL, 4, 3)
+        tl.record(StallType.MEM_DATA, 7, 1)
+        assert tl.dominant_series() == [StallType.SYNC, StallType.NO_STALL]
+
+
+class TestRendering:
+    def test_render_shapes(self):
+        tl = Timeline(window=4)
+        tl.record(StallType.SYNC, 0, 8)
+        text = render_timeline(tl, height=4)
+        lines = text.splitlines()
+        assert len(lines[0]) == 2  # two windows
+        assert "S" in text
+        assert "one column = 4 cycles" in text
+
+    def test_render_empty(self):
+        assert "empty" in render_timeline(Timeline(4))
+
+
+class TestSystemIntegration:
+    def test_timeline_totals_match_breakdown(self):
+        cfg = SystemConfig(num_sms=2, timeline_window=128)
+        r = run_workload(cfg, StreamingWorkload(num_tbs=2))
+        assert r.timeline is not None
+        assert r.timeline.total().counts == r.breakdown.counts
+
+    def test_timeline_spans_execution(self):
+        cfg = SystemConfig(num_sms=2, timeline_window=128)
+        r = run_workload(cfg, StreamingWorkload(num_tbs=2))
+        assert r.timeline.num_windows == -(-r.cycles // 128)
+
+    def test_disabled_by_default(self):
+        r = run_workload(SystemConfig(num_sms=2), StreamingWorkload(num_tbs=1))
+        assert r.timeline is None

@@ -1,0 +1,152 @@
+"""Tests for the UTS/UTSD workloads: tree generation, queue mechanics,
+functional correctness (every node processed exactly once), and the
+protocol-visible effects the case study depends on."""
+
+import pytest
+
+from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
+from repro.sim.config import Protocol, SystemConfig
+from repro.system import run_workload
+from repro.workloads.uts import UtsWorkload, UtsdWorkload, generate_tree
+
+SMALL = dict(total_nodes=40, warps_per_tb=2)
+CFG = dict(num_sms=4)
+
+
+class TestTreeGeneration:
+    def test_exact_size(self):
+        for n in (1, 2, 17, 100):
+            children = generate_tree(n, seed=3)
+            assert len(children) == n
+
+    def test_every_non_root_has_one_parent(self):
+        children = generate_tree(200, seed=5)
+        seen = [0] * 200
+        for kids in children:
+            for k in kids:
+                seen[k] += 1
+        assert seen[0] == 0          # root has no parent
+        assert all(c == 1 for c in seen[1:])
+
+    def test_children_ids_in_range(self):
+        children = generate_tree(64, seed=9)
+        for kids in children:
+            assert all(0 < k < 64 for k in kids)
+
+    def test_deterministic_for_seed(self):
+        assert generate_tree(100, seed=1) == generate_tree(100, seed=1)
+        assert generate_tree(100, seed=1) != generate_tree(100, seed=2)
+
+    def test_unbalanced(self):
+        """Subtree sizes should vary wildly (the benchmark's point)."""
+        children = generate_tree(300, seed=7)
+        sizes = {}
+
+        def size(n):
+            if n not in sizes:
+                sizes[n] = 1 + sum(size(k) for k in children[n])
+            return sizes[n]
+
+        top = sorted((size(k) for k in children[0]), reverse=True)
+        assert top[0] >= 5 * max(1, top[-1])
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_tree(0, seed=1)
+
+
+class TestUtsFunctional:
+    @pytest.mark.parametrize("proto", [Protocol.GPU_COHERENCE, Protocol.DENOVO])
+    def test_all_nodes_processed(self, proto):
+        wl = UtsWorkload(**SMALL)
+        cfg = SystemConfig(protocol=proto, **CFG)
+        r = run_workload(cfg, wl)
+        from repro.workloads.base import REGION_COUNTERS
+
+        # The done counter lives in functional memory; re-running the
+        # workload against a fresh system would reset it, so check via a
+        # fresh system's view is impossible -- instead assert the kernel
+        # terminated, which requires done == total_nodes.
+        assert r.cycles > 0
+
+    def test_done_counter_reaches_total(self):
+        from repro.system import System
+        from repro.workloads.base import REGION_COUNTERS
+
+        wl = UtsWorkload(**SMALL)
+        cfg = SystemConfig(**CFG)
+        system = System(cfg)
+        system.run(wl)
+        assert system.memory.load_word(REGION_COUNTERS) == SMALL["total_nodes"]
+
+    def test_sync_stalls_dominate(self):
+        r = run_workload(SystemConfig(**CFG), UtsWorkload(**SMALL))
+        assert r.breakdown.fraction(StallType.SYNC) > 0.4
+
+    def test_denovo_shows_remote_l1_stalls(self):
+        r = run_workload(
+            SystemConfig(protocol=Protocol.DENOVO, **CFG), UtsWorkload(**SMALL)
+        )
+        assert r.breakdown.mem_data[ServiceLocation.REMOTE_L1] > 0
+
+    def test_gpu_coherence_never_remote(self):
+        r = run_workload(SystemConfig(**CFG), UtsWorkload(**SMALL))
+        assert r.breakdown.mem_data[ServiceLocation.REMOTE_L1] == 0
+
+
+class TestUtsdFunctional:
+    def test_done_counter_reaches_total(self):
+        from repro.system import System
+        from repro.workloads.base import REGION_COUNTERS
+
+        wl = UtsdWorkload(**SMALL)
+        system = System(SystemConfig(**CFG))
+        system.run(wl)
+        assert system.memory.load_word(REGION_COUNTERS) == SMALL["total_nodes"]
+
+    def test_utsd_much_faster_than_uts(self):
+        # At benchmark scale (15 SMs, 150 nodes) the reduction is ~90%; at
+        # this test's miniature scale contention is milder, so the margin
+        # is looser but the direction must hold clearly.
+        uts = run_workload(SystemConfig(**CFG), UtsWorkload(**SMALL))
+        utsd = run_workload(SystemConfig(**CFG), UtsdWorkload(**SMALL))
+        assert utsd.cycles < 0.85 * uts.cycles
+
+    def test_denovo_faster_than_gpu_on_utsd(self):
+        gpu = run_workload(SystemConfig(**CFG), UtsdWorkload(**SMALL))
+        dn = run_workload(
+            SystemConfig(protocol=Protocol.DENOVO, **CFG), UtsdWorkload(**SMALL)
+        )
+        assert dn.cycles < gpu.cycles
+
+    def test_pending_release_drops_under_denovo(self):
+        gpu = run_workload(
+            SystemConfig(**CFG), UtsdWorkload(payload_lines=3, **SMALL)
+        )
+        dn = run_workload(
+            SystemConfig(protocol=Protocol.DENOVO, **CFG),
+            UtsdWorkload(payload_lines=3, **SMALL),
+        )
+        assert (
+            dn.breakdown.mem_struct[MemStructCause.PENDING_RELEASE]
+            <= gpu.breakdown.mem_struct[MemStructCause.PENDING_RELEASE]
+        )
+
+    def test_small_local_queue_overflows_to_global(self):
+        """With a tiny local queue, pushes must spill to the global queue
+        and the workload must still complete."""
+        from repro.system import System
+        from repro.workloads.base import REGION_COUNTERS
+
+        wl = UtsdWorkload(local_capacity=4, **SMALL)
+        system = System(SystemConfig(**CFG))
+        system.run(wl)
+        assert system.memory.load_word(REGION_COUNTERS) == SMALL["total_nodes"]
+
+
+class TestUtsDeterminism:
+    def test_same_seed_same_cycles(self):
+        a = run_workload(SystemConfig(**CFG), UtsWorkload(**SMALL))
+        b = run_workload(SystemConfig(**CFG), UtsWorkload(**SMALL))
+        assert a.cycles == b.cycles
+        assert a.breakdown.counts == b.breakdown.counts

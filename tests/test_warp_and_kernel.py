@@ -1,0 +1,134 @@
+"""Unit tests for warp state, program advancement, and kernel plumbing."""
+
+import random
+
+import pytest
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.kernel import (
+    Kernel,
+    ThreadBlock,
+    WarpContext,
+    uniform_grid,
+)
+from repro.gpu.warp import Warp
+from repro.mem.main_memory import GlobalMemory
+
+
+def make_ctx(**overrides):
+    defaults = dict(
+        sm_id=0,
+        tb_id=0,
+        warp_id=0,
+        warp_index=0,
+        num_warps_in_tb=1,
+        rng=random.Random(0),
+        memory=GlobalMemory(),
+    )
+    defaults.update(overrides)
+    return WarpContext(**defaults)
+
+
+class TestWarpAdvancement:
+    def test_prime_fetches_first_instruction(self):
+        def program(ctx):
+            yield Instruction.alu(dst=1)
+            yield Instruction.alu(dst=2)
+
+        warp = Warp(make_ctx(), program(make_ctx()))
+        warp.prime()
+        assert warp.current is not None
+        assert warp.current.dst == 1
+        assert not warp.finished
+
+    def test_advance_walks_the_stream(self):
+        def program(ctx):
+            yield Instruction.alu(dst=1)
+            yield Instruction.alu(dst=2)
+
+        warp = Warp(make_ctx(), program(make_ctx()))
+        warp.prime()
+        warp.instructions_issued += 1
+        warp.advance(None)
+        assert warp.current.dst == 2
+        warp.instructions_issued += 1
+        warp.advance(None)
+        assert warp.finished
+        assert warp.current is None
+
+    def test_value_flows_into_program(self):
+        seen = []
+
+        def program(ctx):
+            v = yield Instruction.load([0], dst=1, returns_value=True)
+            seen.append(v)
+
+        warp = Warp(make_ctx(), program(make_ctx()))
+        warp.prime()
+        warp.instructions_issued += 1
+        warp.advance(42)
+        assert seen == [42]
+        assert warp.finished
+
+    def test_empty_program_finishes_at_prime(self):
+        def program(ctx):
+            return
+            yield  # pragma: no cover
+
+        warp = Warp(make_ctx(), program(make_ctx()))
+        warp.prime()
+        assert warp.finished
+
+    def test_waiting_flags_reset_on_advance(self):
+        def program(ctx):
+            yield Instruction.alu()
+            yield Instruction.alu()
+
+        warp = Warp(make_ctx(), program(make_ctx()))
+        warp.prime()
+        warp.waiting_value = True
+        warp.value_producer = ("mem", 7)
+        warp.instructions_issued += 1
+        warp.advance(None)
+        assert not warp.waiting_value
+        assert warp.value_producer is None
+
+
+class TestWarpContext:
+    def test_peek_word_reads_functional_memory(self):
+        mem = GlobalMemory()
+        mem.store_word(0x40, 11)
+        ctx = make_ctx(memory=mem)
+        assert ctx.peek_word(0x40) == 11
+
+
+class TestKernelStructure:
+    def test_uniform_grid_shapes(self):
+        kernel = uniform_grid(
+            "k", 3, 2, lambda tb, w: lambda ctx: iter(())
+        )
+        assert kernel.num_thread_blocks == 3
+        assert kernel.total_warps == 6
+        assert all(tb.num_warps == 2 for tb in kernel.thread_blocks)
+
+    def test_validate_warp_limit(self):
+        kernel = uniform_grid("k", 1, 4, lambda tb, w: lambda ctx: iter(()))
+        with pytest.raises(ValueError):
+            kernel.validate(max_warps_per_sm=2)
+        kernel.validate(max_warps_per_sm=4)
+
+    def test_validate_empty(self):
+        with pytest.raises(ValueError):
+            Kernel("k", []).validate(8)
+        with pytest.raises(ValueError):
+            Kernel("k", [ThreadBlock(0, [])]).validate(8)
+
+    def test_factory_receives_coordinates(self):
+        got = []
+
+        def factory(tb, w):
+            got.append((tb, w))
+            return lambda ctx: iter(())
+
+        uniform_grid("k", 2, 2, factory)
+        assert got == [(0, 0), (0, 1), (1, 0), (1, 1)]
