@@ -5,14 +5,67 @@ long: we use pedantic single-round timing (the simulator is deterministic,
 so repeated rounds only measure Python jitter) and print the regenerated
 paper artifact so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
 figure generator.
+
+The figure functions now run through the scenario executor
+(:mod:`repro.experiments.executor`), so this conftest also taps the
+executor's ``record_hook`` to collect **per-scenario wall-clock** for every
+simulation any benchmark triggers, and writes it to a JSON artifact
+(``benchmarks/artifacts/scenario_timings.json`` by default; override with
+``REPRO_TIMINGS``) for perf-trajectory tracking across commits.
 """
 
+import json
+import os
+
 import pytest
+
+from repro.experiments import executor
 
 #: benchmark problem sizes, scaled so the whole suite runs in minutes.
 UTS_NODES = 120
 IMPLICIT_TBS = 4
 IMPLICIT_WARPS = 8
+
+#: per-scenario timings harvested from the executor during this session
+_TIMINGS: list[dict] = []
+
+
+def _timings_path() -> str:
+    return os.environ.get(
+        "REPRO_TIMINGS",
+        os.path.join(os.path.dirname(__file__), "artifacts", "scenario_timings.json"),
+    )
+
+
+def _record(record) -> None:
+    if record.cached:  # cache hits carry the original run's time, not ours
+        return
+    _TIMINGS.append(
+        {
+            "scenario": record.scenario.name,
+            "key": record.scenario.key(),
+            "workload": record.scenario.workload,
+            "cycles": record.result.cycles,
+            "elapsed_s": round(record.elapsed_s, 6),
+        }
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def scenario_timing_artifact():
+    """Tap the executor for the whole session; flush one JSON artifact."""
+    previous = executor.record_hook
+    executor.record_hook = _record
+    yield
+    executor.record_hook = previous
+    if not _TIMINGS:
+        return
+    path = _timings_path()
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"scenarios": _TIMINGS}, fh, indent=2, sort_keys=True)
 
 
 def run_once(benchmark, fn):

@@ -20,63 +20,43 @@ from repro.core.report import format_stacked_bars, format_table
 from repro.core.timeline import render_timeline
 from repro.sim.config import Protocol, SystemConfig
 from repro.system import run_workload
+from repro.workloads import make_workload
 
 
-def _uts(args):
-    from repro.workloads.uts import UtsWorkload
+def _by_name(registry_name: str, **arg_map) -> Callable:
+    """Build the registered workload, mapping CLI args to its kwargs.
 
-    return UtsWorkload(total_nodes=args.nodes, warps_per_tb=args.warps)
+    Classes come from the workload registry (:mod:`repro.workloads`), the
+    single name->factory source also used by scenario specs; this map only
+    owns the CLI-argument plumbing.
+    """
 
-
-def _utsd(args):
-    from repro.workloads.uts import UtsdWorkload
-
-    return UtsdWorkload(total_nodes=args.nodes, warps_per_tb=args.warps)
-
-
-def _implicit(variant):
     def make(args):
-        from repro.workloads.implicit import implicit_variants
-
-        return implicit_variants(warps_per_tb=args.warps or 8)[variant]
+        kwargs = {
+            kwarg: getattr(args, cli_attr) for kwarg, cli_attr in arg_map.items()
+        }
+        return make_workload(registry_name, **kwargs)
 
     return make
 
 
-def _bfs(args):
-    from repro.workloads.graph import BfsWorkload
+def _implicit(registry_name: str) -> Callable:
+    def make(args):
+        return make_workload(registry_name, warps_per_tb=args.warps or 8)
 
-    return BfsWorkload(num_vertices=args.nodes, warps_per_tb=args.warps)
-
-
-def _stencil(args):
-    from repro.workloads.stencil import StencilScratchpadWorkload
-
-    return StencilScratchpadWorkload(warps_per_tb=args.warps)
-
-
-def _reduction(args):
-    from repro.workloads.reduction import ReductionWorkload
-
-    return ReductionWorkload(warps_per_tb=args.warps)
-
-
-def _streaming(args):
-    from repro.workloads.synthetic import StreamingWorkload
-
-    return StreamingWorkload(warps_per_tb=args.warps)
+    return make
 
 
 WORKLOADS: dict[str, Callable] = {
-    "uts": _uts,
-    "utsd": _utsd,
-    "implicit_scratchpad": _implicit("scratchpad"),
-    "implicit_dma": _implicit("scratchpad+dma"),
-    "implicit_stash": _implicit("stash"),
-    "bfs": _bfs,
-    "stencil": _stencil,
-    "reduction": _reduction,
-    "streaming": _streaming,
+    "uts": _by_name("uts", total_nodes="nodes", warps_per_tb="warps"),
+    "utsd": _by_name("utsd", total_nodes="nodes", warps_per_tb="warps"),
+    "implicit_scratchpad": _implicit("implicit_scratchpad"),
+    "implicit_dma": _implicit("implicit_dma"),
+    "implicit_stash": _implicit("implicit_stash"),
+    "bfs": _by_name("bfs", num_vertices="nodes", warps_per_tb="warps"),
+    "stencil": _by_name("stencil_scratchpad", warps_per_tb="warps"),
+    "reduction": _by_name("reduction", warps_per_tb="warps"),
+    "streaming": _by_name("streaming", warps_per_tb="warps"),
 }
 
 
@@ -88,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list bundled workloads")
     sub.add_parser("table51", help="print Table 5.1 (system parameters)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a user-defined scenario file (JSON/YAML)"
+    )
+    sweep.add_argument("file", help="scenario spec file; see README 'Custom sweeps'")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1)")
+    sweep.add_argument("--format", choices=["text", "json", "csv"], default="text",
+                       dest="fmt")
+    sweep.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the report to FILE")
+    sweep.add_argument("--cache", metavar="DIR", default=None,
+                       help="on-disk scenario result cache")
 
     run = sub.add_parser("run", help="run one workload and print the breakdown")
     run.add_argument("workload", choices=sorted(WORKLOADS))
@@ -135,6 +128,59 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    import json
+
+    from repro.core.report import to_csv
+    from repro.experiments.executor import execute
+    from repro.experiments.spec import load_scenarios
+
+    try:
+        scenarios = load_scenarios(args.file)
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    records = execute(scenarios, jobs=args.jobs, cache_dir=args.cache)
+    breakdowns = {r.scenario.name: r.result.breakdown for r in records}
+    if args.fmt == "json":
+        report = json.dumps(
+            {r.scenario.name: r.to_dict() for r in records}, indent=2, sort_keys=True
+        )
+    elif args.fmt == "csv":
+        report = to_csv(breakdowns)
+    else:
+        lines = ["sweep: %d scenario(s) from %s" % (len(records), args.file)]
+        for r in records:
+            lines.append(
+                "  %-40s %10d cycles  %s%s"
+                % (
+                    r.scenario.name,
+                    r.result.cycles,
+                    "cached" if r.cached else "%.2fs" % r.elapsed_s,
+                    "" if r.ok else "  CHECK FAILED",
+                )
+            )
+        lines.append("")
+        lines.append(format_table(breakdowns))
+        lines.append(format_stacked_bars(breakdowns))
+        report = "\n".join(lines)
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    violations = [
+        "%s: %s" % (r.scenario.name, "; ".join(r.violations))
+        for r in records
+        if not r.ok
+    ]
+    if violations:
+        print("expected-shape violations:", file=sys.stderr)
+        for line in violations:
+            print("  " + line, file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -146,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
 
         print(table51())
         return 0
+    if args.command == "sweep":
+        return cmd_sweep(args)
     return cmd_run(args)
 
 

@@ -141,6 +141,17 @@ def format_stacked_bars(
     return out.getvalue()
 
 
+def to_json(breakdowns: Mapping[str, StallBreakdown], indent: int | None = 2) -> str:
+    """JSON export: configuration name -> structured breakdown dict."""
+    import json
+
+    return json.dumps(
+        {name: bd.to_dict() for name, bd in breakdowns.items()},
+        indent=indent,
+        sort_keys=True,
+    )
+
+
 def to_csv(breakdowns: Mapping[str, StallBreakdown]) -> str:
     """CSV export: one row per (configuration, category)."""
     out = io.StringIO()

@@ -1,9 +1,13 @@
 """Experiment harness: one module per concern.
 
-* :mod:`repro.experiments.figures` -- one function per paper artifact.
+* :mod:`repro.experiments.spec` -- declarative Scenario/Sweep specs.
+* :mod:`repro.experiments.executor` -- serial/parallel execution + cache.
+* :mod:`repro.experiments.figures` -- one function per paper artifact,
+  declared as scenario grids.
 * :mod:`repro.experiments.runner` -- CLI to regenerate them.
 """
 
+from repro.experiments.executor import ScenarioRecord, execute, results_by_name
 from repro.experiments.figures import (
     Claim,
     ExperimentResult,
@@ -14,14 +18,21 @@ from repro.experiments.figures import (
     overhead_experiment,
     table51,
 )
+from repro.experiments.spec import Scenario, Sweep, load_scenarios
 
 __all__ = [
     "Claim",
     "ExperimentResult",
+    "Scenario",
+    "ScenarioRecord",
+    "Sweep",
+    "execute",
     "fig61",
     "fig62",
     "fig63",
     "fig64",
+    "load_scenarios",
     "overhead_experiment",
+    "results_by_name",
     "table51",
 ]

@@ -1,0 +1,185 @@
+"""Scenario executor: serial or multiprocess, with an on-disk result cache.
+
+``execute()`` takes a list of :class:`~repro.experiments.spec.Scenario` and
+returns one :class:`ScenarioRecord` per scenario **in input order**,
+regardless of job count or completion order -- figure rendering and the
+byte-identity guarantee (``--jobs 4`` == ``--jobs 1``) depend on that.
+
+Every result crosses a JSON round-trip (even in-process serial runs) so the
+three paths -- serial, worker pool, cache hit -- produce bit-identical
+rehydrated results.  The cache key is the scenario hash
+(:meth:`Scenario.key`): workload + args + config overrides, nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.experiments.spec import Scenario
+from repro.system import SimResult, run_workload
+
+#: cache format version; bump when the result payload shape changes
+CACHE_VERSION = 1
+
+#: observer called with each ScenarioRecord as it is produced (the benchmark
+#: harness hooks this to build per-scenario wall-clock artifacts)
+record_hook: Callable[["ScenarioRecord"], None] | None = None
+
+
+@dataclass
+class ScenarioRecord:
+    """One executed (or cache-served) scenario."""
+
+    scenario: Scenario
+    result: SimResult
+    elapsed_s: float
+    cached: bool
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "key": self.scenario.key(),
+            "result": self.result.to_dict(),
+            "elapsed_s": self.elapsed_s,
+            "cached": self.cached,
+            "violations": list(self.violations),
+        }
+
+
+def simulate_scenario(spec_dict: dict) -> dict:
+    """Worker entry point: simulate one scenario from its plain-dict form.
+
+    Top-level (picklable) and dict-in/dict-out so it crosses the
+    ``multiprocessing`` boundary under both fork and spawn start methods.
+    """
+    scenario = Scenario.from_dict(spec_dict)
+    t0 = time.perf_counter()
+    result = run_workload(scenario.build_config(), scenario.build_workload())
+    elapsed = time.perf_counter() - t0
+    return {
+        "version": CACHE_VERSION,
+        "key": scenario.key(),
+        "result": result.to_dict(),
+        "elapsed_s": elapsed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+def _cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, "%s.json" % key)
+
+
+def _cache_load(cache_dir: str | None, key: str) -> dict | None:
+    if cache_dir is None:
+        return None
+    path = _cache_path(cache_dir, key)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
+        return None
+    return payload
+
+
+def _cache_store(cache_dir: str | None, key: str, payload: dict) -> None:
+    if cache_dir is None:
+        return
+    os.makedirs(cache_dir, exist_ok=True)
+    path = _cache_path(cache_dir, key)
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def execute(
+    scenarios: Sequence[Scenario],
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[ScenarioRecord]:
+    """Run every scenario; results come back in input order.
+
+    ``jobs > 1`` fans uncached scenarios out to a ``multiprocessing`` pool.
+    Scenarios sharing a hash (identical simulation inputs under different
+    names) are simulated once and served to every holder.
+    """
+    scenarios = list(scenarios)
+    seen: set[str] = set()
+    for scenario in scenarios:
+        scenario.validate()
+        if scenario.name in seen:
+            raise ValueError(
+                "duplicate scenario name %r: reports key results by name, so "
+                "one of the two would silently vanish" % scenario.name
+            )
+        seen.add(scenario.name)
+    keys = [s.key() for s in scenarios]
+
+    # Resolve cache hits and the unique set of misses.
+    payloads: dict[str, dict] = {}
+    cached: dict[str, bool] = {}
+    todo: list[tuple[str, Scenario]] = []
+    for scenario, key in zip(scenarios, keys):
+        if key in payloads or any(k == key for k, _ in todo):
+            continue
+        hit = _cache_load(cache_dir, key)
+        if hit is not None:
+            payloads[key] = hit
+            cached[key] = True
+        else:
+            todo.append((key, scenario))
+
+    if todo:
+        spec_dicts = [s.to_dict() for _, s in todo]
+        if jobs > 1 and len(todo) > 1:
+            with multiprocessing.Pool(min(jobs, len(todo))) as pool:
+                fresh = pool.map(simulate_scenario, spec_dicts)
+        else:
+            fresh = [simulate_scenario(d) for d in spec_dicts]
+        for (key, _), payload in zip(todo, fresh):
+            # Normalize through JSON so serial in-process results are
+            # bit-identical to pooled (pickled) and cached (file) ones.
+            payload = json.loads(json.dumps(payload, sort_keys=True))
+            _cache_store(cache_dir, key, payload)
+            payloads[key] = payload
+            cached[key] = False
+
+    records = []
+    for scenario, key in zip(scenarios, keys):
+        payload = payloads[key]
+        result = SimResult.from_dict(payload["result"])
+        record = ScenarioRecord(
+            scenario=scenario,
+            result=result,
+            elapsed_s=float(payload["elapsed_s"]),
+            cached=cached[key],
+            violations=scenario.check(result),
+        )
+        if record_hook is not None:
+            record_hook(record)
+        records.append(record)
+    return records
+
+
+def results_by_name(records: Sequence[ScenarioRecord]) -> dict[str, SimResult]:
+    """Name -> result map (insertion-ordered) for figure rendering."""
+    return {r.scenario.name: r.result for r in records}

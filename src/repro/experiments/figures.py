@@ -1,11 +1,13 @@
 """One entry point per paper artifact (Tables and Figures, Chapters 5-6).
 
-Each ``fig*``/``table*`` function runs the full simulation stack for every
-configuration the figure compares and returns an :class:`ExperimentResult`
-carrying the GSI breakdowns, the rendered paper-style tables, and the
-*shape claims* -- the qualitative relationships the paper reports, evaluated
-against our measurements.  The benchmark harness (`benchmarks/`) and
-EXPERIMENTS.md are generated from these.
+Each ``fig*`` function **declares** the figure as a grid of
+:class:`~repro.experiments.spec.Scenario` (workload name + config
+overrides), hands the grid to the executor
+(:func:`repro.experiments.executor.execute` -- serial, parallel, or
+cache-served), and evaluates the paper's *shape claims* against the
+returned results.  No figure runs a simulation loop of its own, so every
+artifact parallelizes and caches for free, and a new scenario is ~10 lines
+of spec instead of a new figure function.
 """
 
 from __future__ import annotations
@@ -21,10 +23,10 @@ from repro.core.report import (
     format_table,
 )
 from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
-from repro.sim.config import Protocol, SystemConfig
-from repro.system import SimResult, run_workload
-from repro.workloads.implicit import implicit_variants
-from repro.workloads.uts import UtsWorkload, UtsdWorkload
+from repro.experiments.executor import ScenarioRecord, execute, results_by_name
+from repro.experiments.spec import Scenario, Sweep
+from repro.sim.config import SystemConfig
+from repro.system import SimResult
 
 
 @dataclass
@@ -45,6 +47,14 @@ class Claim:
             self.measured,
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "text": self.text,
+            "paper": self.paper,
+            "measured": self.measured,
+            "holds": self.holds,
+        }
+
 
 @dataclass
 class ExperimentResult:
@@ -54,6 +64,8 @@ class ExperimentResult:
     results: dict[str, SimResult]
     baseline: str
     claims: list[Claim] = field(default_factory=list)
+    #: executor records behind ``results`` (timing, cache provenance)
+    records: list[ScenarioRecord] = field(default_factory=list)
 
     @property
     def breakdowns(self) -> dict[str, StallBreakdown]:
@@ -82,6 +94,28 @@ class ExperimentResult:
     def all_hold(self) -> bool:
         return all(c.holds for c in self.claims)
 
+    # --- machine-readable exports --------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form; what ``--format json`` and ``--out`` emit."""
+        return {
+            "experiment": self.experiment,
+            "baseline": self.baseline,
+            "results": {k: r.to_dict() for k, r in self.results.items()},
+            "claims": [c.to_dict() for c in self.claims],
+            "execution": {
+                r.scenario.name: {"elapsed_s": r.elapsed_s, "cached": r.cached}
+                for r in self.records
+            },
+        }
+
+    def to_csv(self) -> str:
+        """One row per (configuration, breakdown category)."""
+        lines = ["experiment,config,category,cycles"]
+        for name, result in self.results.items():
+            for label, cycles in result.breakdown.rows():
+                lines.append("%s,%s,%s,%d" % (self.experiment, name, label, cycles))
+        return "\n".join(lines) + "\n"
+
 
 def _pct(new: float, old: float) -> str:
     if old == 0:
@@ -107,15 +141,30 @@ def table51(config: SystemConfig | None = None) -> str:
 # Figure 6.1: UTS, GPU coherence vs DeNovo
 # ---------------------------------------------------------------------------
 
-def fig61(total_nodes: int = 150, warps_per_tb: int = 4) -> ExperimentResult:
+def _uts_protocol_grid(
+    workload: str, total_nodes: int, warps_per_tb: int
+) -> list[Scenario]:
+    """The recurring two-point grid of case study 1: both protocols."""
+    args = {"total_nodes": total_nodes, "warps_per_tb": warps_per_tb}
+    return [
+        Scenario("gpu-coh", workload, dict(args), {"protocol": "gpu"}),
+        Scenario("denovo", workload, dict(args), {"protocol": "denovo"}),
+    ]
+
+
+def fig61(
+    total_nodes: int = 150,
+    warps_per_tb: int = 4,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> ExperimentResult:
     """UTS stall breakdowns (execution / mem-data / mem-structural)."""
-    results: dict[str, SimResult] = {}
-    for proto, label in [
-        (Protocol.GPU_COHERENCE, "gpu-coh"),
-        (Protocol.DENOVO, "denovo"),
-    ]:
-        wl = UtsWorkload(total_nodes=total_nodes, warps_per_tb=warps_per_tb)
-        results[label] = run_workload(SystemConfig(protocol=proto), wl)
+    records = execute(
+        _uts_protocol_grid("uts", total_nodes, warps_per_tb),
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    results = results_by_name(records)
 
     gpu, dn = results["gpu-coh"], results["denovo"]
     sync_frac_gpu = gpu.breakdown.fraction(StallType.SYNC)
@@ -143,7 +192,7 @@ def fig61(total_nodes: int = 150, warps_per_tb: int = 4) -> ExperimentResult:
             remote_dn > 0 and remote_gpu == 0,
         ),
     ]
-    return ExperimentResult("fig6.1-uts", results, "gpu-coh", claims)
+    return ExperimentResult("fig6.1-uts", results, "gpu-coh", claims, records)
 
 
 # ---------------------------------------------------------------------------
@@ -154,19 +203,21 @@ def fig62(
     total_nodes: int = 150,
     warps_per_tb: int = 4,
     include_uts_reference: bool = True,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> ExperimentResult:
     """UTSD stall breakdowns plus the UTS-vs-UTSD headline reductions."""
-    results: dict[str, SimResult] = {}
-    uts_cycles: dict[str, int] = {}
-    for proto, label in [
-        (Protocol.GPU_COHERENCE, "gpu-coh"),
-        (Protocol.DENOVO, "denovo"),
-    ]:
-        wl = UtsdWorkload(total_nodes=total_nodes, warps_per_tb=warps_per_tb)
-        results[label] = run_workload(SystemConfig(protocol=proto), wl)
-        if include_uts_reference:
-            ref = UtsWorkload(total_nodes=total_nodes, warps_per_tb=warps_per_tb)
-            uts_cycles[label] = run_workload(SystemConfig(protocol=proto), ref).cycles
+    scenarios = _uts_protocol_grid("utsd", total_nodes, warps_per_tb)
+    if include_uts_reference:
+        for ref in _uts_protocol_grid("uts", total_nodes, warps_per_tb):
+            ref.name = "uts:%s" % ref.name
+            scenarios.append(ref)
+    records = execute(scenarios, jobs=jobs, cache_dir=cache_dir)
+    named = results_by_name(records)
+    results = {k: v for k, v in named.items() if not k.startswith("uts:")}
+    uts_cycles = {
+        k[len("uts:"):]: v.cycles for k, v in named.items() if k.startswith("uts:")
+    }
 
     gpu, dn = results["gpu-coh"], results["denovo"]
     claims = [
@@ -241,18 +292,40 @@ def fig62(
                     results[label].cycles < 0.25 * uts_cycles[label],
                 )
             )
-    return ExperimentResult("fig6.2-utsd", results, "gpu-coh", claims)
+    return ExperimentResult("fig6.2-utsd", results, "gpu-coh", claims, records)
 
 
 # ---------------------------------------------------------------------------
 # Figure 6.3: implicit microbenchmark across local-memory organizations
 # ---------------------------------------------------------------------------
 
-def fig63(num_tbs: int = 4, warps_per_tb: int = 8) -> ExperimentResult:
+#: display name -> workload registry name for the implicit variants
+IMPLICIT_VARIANTS = {
+    "scratchpad": "implicit_scratchpad",
+    "scratchpad+dma": "implicit_dma",
+    "stash": "implicit_stash",
+}
+
+
+def _implicit_grid(num_tbs: int, warps_per_tb: int) -> list[Scenario]:
+    """Case study 2's three-point grid: one scenario per local memory."""
+    return [
+        Scenario(name, workload, {"num_tbs": num_tbs, "warps_per_tb": warps_per_tb})
+        for name, workload in IMPLICIT_VARIANTS.items()
+    ]
+
+
+def fig63(
+    num_tbs: int = 4,
+    warps_per_tb: int = 8,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> ExperimentResult:
     """implicit: scratchpad vs scratchpad+DMA vs stash."""
-    results: dict[str, SimResult] = {}
-    for name, wl in implicit_variants(num_tbs=num_tbs, warps_per_tb=warps_per_tb).items():
-        results[name] = run_workload(SystemConfig(), wl)
+    records = execute(
+        _implicit_grid(num_tbs, warps_per_tb), jobs=jobs, cache_dir=cache_dir
+    )
+    results = results_by_name(records)
 
     base = results["scratchpad"]
     dma = results["scratchpad+dma"]
@@ -326,7 +399,7 @@ def fig63(num_tbs: int = 4, warps_per_tb: int = 8) -> ExperimentResult:
             and stash.breakdown.mem_struct[MemStructCause.PENDING_DMA] == 0,
         ),
     ]
-    return ExperimentResult("fig6.3-implicit", results, "scratchpad", claims)
+    return ExperimentResult("fig6.3-implicit", results, "scratchpad", claims, records)
 
 
 # ---------------------------------------------------------------------------
@@ -337,19 +410,35 @@ def fig64(
     mshr_sizes: tuple[int, ...] = (32, 64, 128, 256),
     num_tbs: int = 4,
     warps_per_tb: int = 8,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[int, ExperimentResult]:
     """implicit with MSHR size swept 32..256 (store buffer scaled along,
-    as in the paper)."""
+    as in the paper): a cartesian Sweep per local-memory variant, executed
+    as one batch so the whole grid parallelizes."""
+    mshr_axis = [
+        {"mshr_entries": size, "store_buffer_entries": size} for size in mshr_sizes
+    ]
+    scenarios = [
+        swept
+        for base in _implicit_grid(num_tbs, warps_per_tb)
+        for swept in Sweep(base, {"mshr_entries": mshr_axis}).expand()
+    ]
+    records = execute(scenarios, jobs=jobs, cache_dir=cache_dir)
+    by_name = {r.scenario.name: r for r in records}
+
     out: dict[int, ExperimentResult] = {}
     for size in mshr_sizes:
-        results: dict[str, SimResult] = {}
-        for name, wl in implicit_variants(
-            num_tbs=num_tbs, warps_per_tb=warps_per_tb
-        ).items():
-            cfg = SystemConfig(mshr_entries=size, store_buffer_entries=size)
-            results[name] = run_workload(cfg, wl)
+        size_records = [
+            by_name["%s/mshr_entries=%d" % (variant, size)]
+            for variant in IMPLICIT_VARIANTS
+        ]
         out[size] = ExperimentResult(
-            "fig6.4-mshr-%d" % size, results, "scratchpad", []
+            "fig6.4-mshr-%d" % size,
+            {r.scenario.name.split("/")[0]: r.result for r in size_records},
+            "scratchpad",
+            [],
+            size_records,
         )
     smallest, largest = min(mshr_sizes), max(mshr_sizes)
     lo, hi = out[smallest], out[largest]
@@ -450,8 +539,13 @@ def fig64(
 # ---------------------------------------------------------------------------
 
 def overhead_experiment(repeats: int = 3) -> dict[str, float]:
-    """Wall-clock cost of GSI attribution on a representative workload."""
+    """Wall-clock cost of GSI attribution on a representative workload.
+
+    Deliberately *not* scenario-based: it measures host time, which must
+    stay in-process and uncached to mean anything.
+    """
     from repro.workloads.synthetic import StreamingWorkload
+    from repro.system import run_workload
 
     def run_once(enabled: bool) -> float:
         wl = StreamingWorkload(num_tbs=8, warps_per_tb=4, elements_per_warp=64)

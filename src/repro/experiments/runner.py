@@ -2,61 +2,110 @@
 
 Usage (also wired up as ``python -m repro.experiments``)::
 
-    python -m repro.experiments               # everything
-    python -m repro.experiments fig6.3        # one artifact
-    python -m repro.experiments --fast        # reduced problem sizes
+    python -m repro.experiments                    # everything, serial
+    python -m repro.experiments fig6.3             # one artifact
+    python -m repro.experiments --fast --jobs 4    # reduced sizes, 4 workers
+    python -m repro.experiments --format json      # machine-readable results
+    python -m repro.experiments --out results/ --cache .sim-cache
 
-Each experiment prints the three paper-style views (execution-time
-breakdown, memory-data sub-breakdown, memory-structural sub-breakdown),
-ASCII stacked bars, and the checked shape claims.
+Figures are declared as scenario grids (:mod:`repro.experiments.figures`)
+and executed by :mod:`repro.experiments.executor`, so ``--jobs N`` fans the
+grid out to N worker processes and ``--cache DIR`` re-serves unchanged
+scenarios from disk; breakdown numbers are byte-identical regardless of
+either flag.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import json
+import os
 import sys
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import figures
 
 
-def _run_fig61(fast: bool) -> str:
+@dataclass
+class Artifact:
+    """One regenerated experiment in all three output shapes."""
+
+    name: str
+    text: str
+    data: dict
+    csv: str
+
+
+def _figure_artifact(name: str, result) -> Artifact:
+    return Artifact(name, result.render(), result.to_dict(), result.to_csv())
+
+
+def _run_fig61(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     nodes = 60 if fast else 150
-    return figures.fig61(total_nodes=nodes).render()
+    result = figures.fig61(total_nodes=nodes, jobs=jobs, cache_dir=cache_dir)
+    return _figure_artifact("fig6.1", result)
 
 
-def _run_fig62(fast: bool) -> str:
+def _run_fig62(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     nodes = 60 if fast else 150
-    return figures.fig62(total_nodes=nodes, include_uts_reference=not fast).render()
+    result = figures.fig62(
+        total_nodes=nodes,
+        include_uts_reference=not fast,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return _figure_artifact("fig6.2", result)
 
 
-def _run_fig63(fast: bool) -> str:
+def _run_fig63(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     tbs = 2 if fast else 4
-    return figures.fig63(num_tbs=tbs).render()
+    result = figures.fig63(num_tbs=tbs, jobs=jobs, cache_dir=cache_dir)
+    return _figure_artifact("fig6.3", result)
 
 
-def _run_fig64(fast: bool) -> str:
+def _run_fig64(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     sizes = (32, 256) if fast else (32, 64, 128, 256)
     tbs = 2 if fast else 4
-    sweep = figures.fig64(mshr_sizes=sizes, num_tbs=tbs)
-    parts = [sweep[size].render() for size in sizes]
-    return "\n\n".join(parts)
+    sweep = figures.fig64(
+        mshr_sizes=sizes, num_tbs=tbs, jobs=jobs, cache_dir=cache_dir
+    )
+    text = "\n\n".join(sweep[size].render() for size in sizes)
+    data = {str(size): sweep[size].to_dict() for size in sizes}
+    csv_lines = ["experiment,config,category,cycles"]
+    for size in sizes:
+        csv_lines += sweep[size].to_csv().splitlines()[1:]
+    return Artifact("fig6.4", text, data, "\n".join(csv_lines) + "\n")
 
 
-def _run_table51(fast: bool) -> str:
-    return figures.table51()
+def _run_table51(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
+    from repro.sim.config import SystemConfig
+
+    config = SystemConfig()
+    rows = config.table51_rows()
+    return Artifact(
+        "table5.1",
+        figures.table51(config),
+        {"table5.1": dict(rows), "config": config.to_dict()},
+        "parameter,value\n" + "".join('%s,"%s"\n' % row for row in rows),
+    )
 
 
-def _run_overhead(fast: bool) -> str:
+def _run_overhead(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     stats = figures.overhead_experiment(repeats=1 if fast else 3)
-    return (
+    text = (
         "GSI attribution overhead (paper: ~5%% simulation time):\n"
         "  with GSI    %.3f s\n  without GSI %.3f s\n  overhead    %.1f%%"
         % (stats["with_gsi_s"], stats["without_gsi_s"], stats["overhead_pct"])
     )
+    csv = "metric,value\n" + "".join(
+        "%s,%.6f\n" % (k, v) for k, v in stats.items()
+    )
+    return Artifact("overhead", text, stats, csv)
 
 
-EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+EXPERIMENTS: dict[str, Callable[[bool, int, str | None], Artifact]] = {
     "table5.1": _run_table51,
     "fig6.1": _run_fig61,
     "fig6.2": _run_fig62,
@@ -65,20 +114,70 @@ EXPERIMENTS: dict[str, Callable[[bool], str]] = {
     "overhead": _run_overhead,
 }
 
+FORMATS = ("text", "json", "csv")
 
-def run(names: list[str] | None = None, fast: bool = False) -> str:
-    """Run the named experiments (all by default); returns the report."""
-    chosen = names or list(EXPERIMENTS)
+
+def select(names: list[str] | None) -> list[str]:
+    """Validate and dedupe experiment names, preserving first-seen order.
+
+    Unknown names raise with close-match suggestions, so ``fig6.33`` says
+    "did you mean fig6.3?" instead of silently running nothing.
+    """
+    chosen = list(dict.fromkeys(names or list(EXPERIMENTS)))
     unknown = [n for n in chosen if n not in EXPERIMENTS]
     if unknown:
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, EXPERIMENTS, n=2)
+            if close:
+                hints.append("did you mean %s?" % " or ".join(close))
         raise ValueError(
-            "unknown experiment(s) %s; available: %s"
-            % (unknown, ", ".join(EXPERIMENTS))
+            "unknown experiment(s) %s; available: %s%s"
+            % (unknown, ", ".join(EXPERIMENTS), (" -- " + " ".join(hints)) if hints else "")
         )
-    blocks = []
-    for name in chosen:
-        blocks.append(EXPERIMENTS[name](fast))
-    return "\n\n".join(blocks)
+    return chosen
+
+
+def _render(artifacts: list[Artifact], fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps({a.name: a.data for a in artifacts}, indent=2, sort_keys=True)
+    if fmt == "csv":
+        # Artifact schemas differ (breakdown rows vs Table 5.1 parameters vs
+        # overhead metrics), so stdout carries blank-line-separated tables;
+        # use --out for one strictly-parseable file per experiment.
+        return "\n\n".join(a.csv.rstrip("\n") for a in artifacts) + "\n"
+    return "\n\n".join(a.text for a in artifacts)
+
+
+_EXTENSIONS = {"text": "txt", "json": "json", "csv": "csv"}
+
+
+def write_artifacts(artifacts: list[Artifact], out_dir: str, fmt: str) -> list[str]:
+    """Write one file per artifact into ``out_dir``; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for artifact in artifacts:
+        path = os.path.join(out_dir, "%s.%s" % (artifact.name, _EXTENSIONS[fmt]))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(_render([artifact], fmt))
+            if fmt == "text":
+                fh.write("\n")
+        paths.append(path)
+    return paths
+
+
+def run(
+    names: list[str] | None = None,
+    fast: bool = False,
+    jobs: int = 1,
+    fmt: str = "text",
+    cache_dir: str | None = None,
+) -> str:
+    """Run the named experiments (all by default); returns the report."""
+    if fmt not in FORMATS:
+        raise ValueError("format must be one of %s" % (FORMATS,))
+    artifacts = [EXPERIMENTS[name](fast, jobs, cache_dir) for name in select(names)]
+    return _render(artifacts, fmt)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,8 +189,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--fast", action="store_true", help="reduced problem sizes (CI-friendly)"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate scenarios on N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="fmt",
+        help="output format (default: text); csv on stdout is one "
+             "blank-line-separated table per experiment -- combine with "
+             "--out for separate files",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="also write one file per experiment into DIR",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None, dest="cache_dir",
+        help="on-disk scenario result cache (reruns skip unchanged points)",
+    )
     args = parser.parse_args(argv)
-    print(run(args.experiments or None, fast=args.fast))
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    try:
+        names = select(args.experiments or None)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    artifacts = [
+        EXPERIMENTS[name](args.fast, args.jobs, args.cache_dir) for name in names
+    ]
+    print(_render(artifacts, args.fmt))
+    if args.out:
+        for path in write_artifacts(artifacts, args.out, args.fmt):
+            print("wrote %s" % path, file=sys.stderr)
     return 0
 
 

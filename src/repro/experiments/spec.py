@@ -1,0 +1,237 @@
+"""Declarative scenario specs.
+
+A :class:`Scenario` is plain data -- a workload registry name plus keyword
+arguments, :class:`~repro.sim.config.SystemConfig` overrides, and optional
+expected-shape checks.  Being plain data makes scenarios picklable (they
+cross the ``multiprocessing`` boundary), hashable into a stable cache key,
+and loadable from user-written JSON/YAML files.  A :class:`Sweep` expands a
+base scenario over a cartesian parameter grid.
+
+The simulation inputs (workload + args + config overrides) define the
+scenario hash; the display ``name`` and the ``expect`` block deliberately do
+not, so relabelling a scenario or tightening its checks still hits the
+on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.config import SystemConfig
+from repro.workloads import make_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import SimResult
+
+#: grid-axis keys with this prefix target workload kwargs, not the config
+WORKLOAD_AXIS_PREFIX = "workload."
+
+
+@dataclass
+class Scenario:
+    """One named simulation point: workload + config overrides + checks."""
+
+    name: str
+    workload: str
+    workload_args: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    expect: dict = field(default_factory=dict)
+
+    # --- construction of the live objects ------------------------------
+    def build_config(self, base: SystemConfig | None = None) -> SystemConfig:
+        """Apply this scenario's overrides on top of ``base`` (or defaults)."""
+        base = base or SystemConfig()
+        return base.scaled(**self.config) if self.config else base
+
+    def build_workload(self):
+        return make_workload(self.workload, **self.workload_args)
+
+    def validate(self) -> None:
+        """Fail fast on unknown workloads, workload kwargs, or config
+        fields, before any simulation time (or a worker process) is spent."""
+        try:
+            self.build_workload()
+        except TypeError as exc:
+            raise ValueError(
+                "scenario %r: bad workload_args for %r: %s"
+                % (self.name, self.workload, exc)
+            ) from None
+        try:
+            self.build_config()
+        except TypeError as exc:
+            raise ValueError(
+                "scenario %r: bad config override: %s" % (self.name, exc)
+            ) from None
+
+    # --- identity -------------------------------------------------------
+    def key(self) -> str:
+        """Stable hash of the *simulation inputs* (name/expect excluded)."""
+        payload = json.dumps(
+            {
+                "workload": self.workload,
+                "workload_args": self.workload_args,
+                "config": self.config,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # --- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "workload_args": dict(self.workload_args),
+            "config": dict(self.config),
+            "expect": dict(self.expect),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Scenario":
+        known = {"name", "workload", "workload_args", "config", "expect"}
+        unknown = sorted(set(data) - known - {"grid"})
+        if unknown:
+            raise ValueError("unknown scenario field(s): %s" % ", ".join(unknown))
+        if "workload" not in data:
+            raise ValueError("scenario needs a 'workload' (registry name)")
+        return Scenario(
+            name=data.get("name", data["workload"]),
+            workload=data["workload"],
+            workload_args=dict(data.get("workload_args", {})),
+            config=dict(data.get("config", {})),
+            expect=dict(data.get("expect", {})),
+        )
+
+    # --- expected-shape checks -----------------------------------------
+    def check(self, result: "SimResult") -> list[str]:
+        """Evaluate the ``expect`` block; returns violation messages.
+
+        Supported keys::
+
+            min_cycles / max_cycles: int  -- bounds on total cycles
+            dominant_stall: str           -- StallType value with most cycles
+            nonzero / zero: [str, ...]    -- breakdown row labels (see
+                                             StallBreakdown.rows()) required
+                                             to be > 0 / == 0
+        """
+        out: list[str] = []
+        exp = self.expect
+        if "min_cycles" in exp and result.cycles < exp["min_cycles"]:
+            out.append("cycles %d < min_cycles %d" % (result.cycles, exp["min_cycles"]))
+        if "max_cycles" in exp and result.cycles > exp["max_cycles"]:
+            out.append("cycles %d > max_cycles %d" % (result.cycles, exp["max_cycles"]))
+        rows = dict(result.breakdown.rows())
+        if "dominant_stall" in exp:
+            top = max(result.breakdown.counts, key=lambda s: result.breakdown.counts[s])
+            if top.value != exp["dominant_stall"]:
+                out.append(
+                    "dominant stall %s != expected %s" % (top.value, exp["dominant_stall"])
+                )
+        for label in exp.get("nonzero", []):
+            if rows.get(label, 0) == 0:
+                out.append("expected %s > 0" % label)
+        for label in exp.get("zero", []):
+            if rows.get(label, 0) != 0:
+                out.append("expected %s == 0, got %d" % (label, rows.get(label, 0)))
+        unknown = set(exp) - {"min_cycles", "max_cycles", "dominant_stall", "nonzero", "zero"}
+        if unknown:
+            out.append("unknown expect key(s): %s" % ", ".join(sorted(unknown)))
+        return out
+
+
+@dataclass
+class Sweep:
+    """Cartesian parameter grid over a base scenario.
+
+    ``grid`` maps an axis key to a list of points.  An axis key names a
+    :class:`SystemConfig` field, or a workload kwarg when prefixed with
+    ``workload.`` (e.g. ``workload.total_nodes``).  A point is usually a
+    scalar; a dict point merges several overrides at once, for linked
+    parameters (the paper scales the store buffer with the MSHR)::
+
+        Sweep(base, {"mshr_entries": [
+            {"mshr_entries": s, "store_buffer_entries": s} for s in sizes]})
+
+    Expansion order is the cartesian product with the *last* axis fastest,
+    and is deterministic.  Expanded names are ``base/axis=value[,...]``.
+    """
+
+    base: Scenario
+    grid: dict = field(default_factory=dict)
+
+    def expand(self) -> list[Scenario]:
+        if not self.grid:
+            return [self.base]
+        axes = list(self.grid.items())
+        out: list[Scenario] = []
+        for combo in itertools.product(*(points for _, points in axes)):
+            wargs = dict(self.base.workload_args)
+            config = dict(self.base.config)
+            labels = []
+            for (axis, _), point in zip(axes, combo):
+                overrides = point if isinstance(point, dict) else {axis: point}
+                display = overrides.get(axis, point)
+                for target_key, value in overrides.items():
+                    if target_key.startswith(WORKLOAD_AXIS_PREFIX):
+                        wargs[target_key[len(WORKLOAD_AXIS_PREFIX):]] = value
+                    else:
+                        config[target_key] = value
+                short = axis[len(WORKLOAD_AXIS_PREFIX):] if axis.startswith(
+                    WORKLOAD_AXIS_PREFIX
+                ) else axis
+                labels.append("%s=%s" % (short, display))
+            out.append(
+                Scenario(
+                    name="%s/%s" % (self.base.name, ",".join(labels)),
+                    workload=self.base.workload,
+                    workload_args=wargs,
+                    config=config,
+                    expect=dict(self.base.expect),
+                )
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        data = self.base.to_dict()
+        data["grid"] = {k: list(v) for k, v in self.grid.items()}
+        return data
+
+
+def load_scenarios(path: str) -> list[Scenario]:
+    """Load scenarios from a user-written JSON or YAML file.
+
+    Accepted shapes: a list of scenario dicts, or ``{"scenarios": [...]}``.
+    A scenario dict may carry a ``grid`` key, in which case it is expanded
+    as a :class:`Sweep`.  YAML needs PyYAML; JSON always works.
+    """
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml  # type: ignore[import-untyped]
+        except ImportError:  # pragma: no cover - environment dependent
+            raise RuntimeError(
+                "PyYAML is not installed; use a .json scenario file instead"
+            ) from None
+        data = yaml.safe_load(text)
+    else:
+        data = json.loads(text)
+    if isinstance(data, dict):
+        data = data.get("scenarios", [])
+    if not isinstance(data, list) or not data:
+        raise ValueError("%s: expected a non-empty list of scenarios" % path)
+    out: list[Scenario] = []
+    for entry in data:
+        base = Scenario.from_dict(entry)
+        if entry.get("grid"):
+            out.extend(Sweep(base, entry["grid"]).expand())
+        else:
+            out.append(base)
+    for scenario in out:
+        scenario.validate()
+    return out

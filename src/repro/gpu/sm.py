@@ -128,7 +128,7 @@ class SM:
                 self._on_warp_finished(warp)
         self.wake()
         if not self.engine.is_active(self.tid):
-            self.engine.activate(self.tid, self)
+            self.engine.activate(self.tid)
 
     def resident_warp_count(self) -> int:
         return len(self.warps)
@@ -593,7 +593,7 @@ class SM:
             cause, detail = self._sleep_cause
             self.attr.record(cause, detail, gap, at=self._sleep_from)
         self.sleeping = False
-        self.engine.activate(self.tid, self)
+        self.engine.activate(self.tid)
 
     def finalize(self, end_cycle: int) -> None:
         """Account for a sleep period still open when the run ended."""

@@ -14,7 +14,7 @@ the hop count between the requesting core and the home L2 bank.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 
 class Protocol(enum.Enum):
@@ -22,6 +22,14 @@ class Protocol(enum.Enum):
 
     GPU_COHERENCE = "gpu"
     DENOVO = "denovo"
+
+
+def _coerce_enums(values: dict) -> dict:
+    """Map string values of the enum-typed fields back to their enums."""
+    for key, enum_type in (("protocol", Protocol), ("local_memory", LocalMemory)):
+        if key in values and not isinstance(values[key], enum_type):
+            values[key] = enum_type(values[key])
+    return values
 
 
 class LocalMemory(enum.Enum):
@@ -162,8 +170,30 @@ class SystemConfig:
         return addr >> self.offset_bits
 
     def scaled(self, **overrides) -> "SystemConfig":
-        """Return a copy with the given fields replaced (sweep helper)."""
-        return replace(self, **overrides)
+        """Return a copy with the given fields replaced (sweep helper).
+
+        Enum fields also accept their string values (``protocol="denovo"``),
+        so declarative scenario specs can stay plain JSON data.
+        """
+        return replace(self, **_coerce_enums(overrides))
+
+    # --- serialization (scenario cache keys, worker-process boundary) ---
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every field; enums become their values."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = value.value if isinstance(value, enum.Enum) else value
+        return out
+
+    @staticmethod
+    def from_dict(data: dict) -> "SystemConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(SystemConfig)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError("unknown SystemConfig field(s): %s" % ", ".join(unknown))
+        return SystemConfig(**_coerce_enums(dict(data)))
 
     def table51_rows(self) -> list[tuple[str, str]]:
         """Render the configuration as the rows of Table 5.1."""

@@ -37,19 +37,22 @@ class Engine:
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
         self._seq: int = 0
         self._active: dict[int, Tickable] = {}
+        self._tickables: dict[int, Tickable] = {}
         self._next_tid: int = 0
         self._stopped: bool = False
         self.events_processed: int = 0
 
     # ------------------------------------------------------------------
     def register(self, tickable: Tickable) -> int:
-        """Assign a stable id to a tickable; it starts inactive."""
+        """Assign a stable id to a tickable and store it; starts inactive."""
         tid = self._next_tid
         self._next_tid += 1
+        self._tickables[tid] = tickable
         return tid
 
-    def activate(self, tid: int, tickable: Tickable) -> None:
-        self._active[tid] = tickable
+    def activate(self, tid: int) -> None:
+        """Start ticking the registered tickable ``tid`` every cycle."""
+        self._active[tid] = self._tickables[tid]
 
     def deactivate(self, tid: int) -> None:
         self._active.pop(tid, None)

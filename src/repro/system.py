@@ -59,6 +59,32 @@ class SimResult:
 
         return summarize(self.workload, self.breakdown)
 
+    # --- serialization (executor cache, worker-process boundary) -------
+    def to_dict(self) -> dict:
+        """JSON-ready dict.  The timeline is dropped (it is an in-memory
+        profiling aid, not part of the machine-readable artifact)."""
+        return {
+            "workload": self.workload,
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "breakdown": self.breakdown.to_dict(),
+            "per_sm": [bd.to_dict() for bd in self.per_sm],
+            "instructions": self.instructions,
+            "stats": self.stats,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SimResult":
+        return SimResult(
+            workload=data["workload"],
+            config=SystemConfig.from_dict(data["config"]),
+            cycles=int(data["cycles"]),
+            breakdown=StallBreakdown.from_dict(data["breakdown"]),
+            per_sm=[StallBreakdown.from_dict(d) for d in data["per_sm"]],
+            instructions=int(data["instructions"]),
+            stats=data.get("stats", {}),
+        )
+
 
 class System:
     """A fully built simulated system ready to run one kernel."""

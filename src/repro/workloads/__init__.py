@@ -1,5 +1,83 @@
-"""Benchmark workloads: the paper's case studies plus synthetic kernels."""
+"""Benchmark workloads: the paper's case studies plus synthetic kernels.
+
+Besides the :class:`Workload` base class this package owns the **workload
+registry**: a name -> factory map that lets declarative scenario specs
+(:mod:`repro.experiments.spec`) reference workloads by string instead of by
+import path.  Factories are resolved lazily so importing the package stays
+cheap and worker processes only load what they simulate.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
 
 from repro.workloads.base import Workload
 
-__all__ = ["Workload"]
+#: built-in workloads: registry name -> (module, class) resolved on demand.
+_BUILTINS: dict[str, tuple[str, str]] = {
+    "uts": ("repro.workloads.uts", "UtsWorkload"),
+    "utsd": ("repro.workloads.uts", "UtsdWorkload"),
+    "implicit_scratchpad": ("repro.workloads.implicit", "ImplicitScratchpad"),
+    "implicit_dma": ("repro.workloads.implicit", "ImplicitDma"),
+    "implicit_stash": ("repro.workloads.implicit", "ImplicitStash"),
+    "bfs": ("repro.workloads.graph", "BfsWorkload"),
+    "stencil_global": ("repro.workloads.stencil", "StencilGlobalWorkload"),
+    "stencil_scratchpad": ("repro.workloads.stencil", "StencilScratchpadWorkload"),
+    "reduction": ("repro.workloads.reduction", "ReductionWorkload"),
+    "streaming": ("repro.workloads.synthetic", "StreamingWorkload"),
+    "pointer_chase": ("repro.workloads.synthetic", "PointerChaseWorkload"),
+    "compute_heavy": ("repro.workloads.synthetic", "ComputeHeavyWorkload"),
+    "lock_contention": ("repro.workloads.synthetic", "LockContentionWorkload"),
+    "burst_store": ("repro.workloads.synthetic", "BurstStoreWorkload"),
+    "idle_tail": ("repro.workloads.synthetic", "IdleTailWorkload"),
+}
+
+#: user-registered factories (take precedence over builtins of the same name)
+_CUSTOM: dict[str, Callable[..., Workload]] = {}
+
+
+def register_workload(name: str, factory: Callable[..., Workload]) -> None:
+    """Register ``factory`` (any ``**kwargs -> Workload`` callable) under
+    ``name`` so scenario specs can reference it declaratively."""
+    _CUSTOM[name] = factory
+
+
+def available_workloads() -> list[str]:
+    """Sorted names every spec may reference."""
+    return sorted(set(_BUILTINS) | set(_CUSTOM))
+
+
+def workload_factory(name: str) -> Callable[..., Workload]:
+    """Resolve a registry name to its factory; raises with suggestions."""
+    if name in _CUSTOM:
+        return _CUSTOM[name]
+    try:
+        module_name, attr = _BUILTINS[name]
+    except KeyError:
+        import difflib
+
+        hint = difflib.get_close_matches(name, available_workloads(), n=3)
+        raise ValueError(
+            "unknown workload %r; available: %s%s"
+            % (
+                name,
+                ", ".join(available_workloads()),
+                ("; did you mean %s?" % ", ".join(hint)) if hint else "",
+            )
+        ) from None
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate the registered workload ``name`` with ``kwargs``."""
+    return workload_factory(name)(**kwargs)
+
+
+__all__ = [
+    "Workload",
+    "available_workloads",
+    "make_workload",
+    "register_workload",
+    "workload_factory",
+]

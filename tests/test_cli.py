@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import WORKLOADS, build_parser, main
@@ -63,3 +65,72 @@ class TestRun:
     def test_run_implicit_stash(self, capsys):
         assert main(["run", "implicit_stash", "--warps", "4"]) == 0
         assert "implicit_stash" in capsys.readouterr().out
+
+
+class TestSweep:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "name": "s",
+                        "workload": "streaming",
+                        "workload_args": {"num_tbs": 2, "warps_per_tb": 1},
+                        "config": {"num_sms": 2},
+                        "grid": {"mshr_entries": [8, 16]},
+                    }
+                ]
+            )
+        )
+        return str(path)
+
+    def test_sweep_text(self, spec_file, capsys):
+        assert main(["sweep", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenario(s)" in out
+        assert "s/mshr_entries=8" in out
+        assert "execution time breakdown" in out
+
+    def test_sweep_json_and_out_file(self, spec_file, capsys, tmp_path):
+        out_file = str(tmp_path / "report.json")
+        assert main(["sweep", spec_file, "--format", "json", "--out", out_file]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"s/mshr_entries=8", "s/mshr_entries=16"}
+        assert data["s/mshr_entries=8"]["result"]["cycles"] > 0
+        with open(out_file) as fh:
+            assert json.load(fh) == data
+
+    def test_sweep_csv(self, spec_file, capsys):
+        assert main(["sweep", spec_file, "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("config,category,cycles")
+
+    def test_sweep_cache_round_trip(self, spec_file, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", spec_file, "--cache", cache]) == 0
+        first = capsys.readouterr().out
+        assert "cached" not in first
+        assert main(["sweep", spec_file, "--cache", cache]) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_sweep_failed_expectation_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "name": "impossible",
+                        "workload": "streaming",
+                        "workload_args": {"num_tbs": 2, "warps_per_tb": 1},
+                        "config": {"num_sms": 2},
+                        "expect": {"max_cycles": 1},
+                    }
+                ]
+            )
+        )
+        assert main(["sweep", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "CHECK FAILED" in captured.out
+        assert "expected-shape violations" in captured.err

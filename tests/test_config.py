@@ -71,6 +71,49 @@ class TestValidation:
         SystemConfig(warp_scheduler="gto")  # ok
 
 
+class TestSerialization:
+    def test_round_trip_defaults(self):
+        cfg = SystemConfig()
+        assert SystemConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_round_trip_non_defaults(self):
+        cfg = SystemConfig(
+            protocol=Protocol.DENOVO,
+            local_memory=LocalMemory.STASH,
+            mshr_entries=256,
+            store_buffer_entries=256,
+            num_sms=4,
+            timeline_window=128,
+        )
+        again = SystemConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+        assert again.protocol is Protocol.DENOVO
+        assert again.local_memory is LocalMemory.STASH
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        data = json.loads(json.dumps(SystemConfig().to_dict()))
+        assert data["protocol"] == "gpu"
+        assert data["local_memory"] == "none"
+        assert SystemConfig.from_dict(data) == SystemConfig()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown SystemConfig field"):
+            SystemConfig.from_dict({"mshr_size": 64})
+
+    def test_from_dict_validates(self):
+        data = SystemConfig().to_dict()
+        data["mshr_entries"] = 0
+        with pytest.raises(ValueError):
+            SystemConfig.from_dict(data)
+
+    def test_scaled_accepts_enum_strings(self):
+        cfg = SystemConfig().scaled(protocol="denovo", local_memory="stash")
+        assert cfg.protocol is Protocol.DENOVO
+        assert cfg.local_memory is LocalMemory.STASH
+
+
 class TestScaled:
     def test_scaled_returns_modified_copy(self):
         base = SystemConfig()

@@ -15,7 +15,7 @@ class Counter:
         self.stop_after = stop_after
 
     def start(self):
-        self.engine.activate(self.tid, self)
+        self.engine.activate(self.tid)
 
     def tick(self):
         self.ticks += 1
@@ -76,7 +76,7 @@ def test_event_wakes_before_tick_same_cycle():
             engine.deactivate(self.tid)
 
     t = T()
-    engine.schedule(7, lambda: (log.append(("event", engine.now)), engine.activate(t.tid, t)))
+    engine.schedule(7, lambda: (log.append(("event", engine.now)), engine.activate(t.tid)))
     engine.run()
     assert log == [("event", 7), ("tick", 7)]
 
@@ -127,7 +127,7 @@ def test_events_during_tick_run_next_iteration():
                 engine.deactivate(self.tid)
 
     t = T()
-    engine.activate(t.tid, t)
+    engine.activate(t.tid)
     engine.run()
     assert log == [1]  # zero-delay event from tick at 0 lands at cycle 1
 
@@ -135,3 +135,20 @@ def test_events_during_tick_run_next_iteration():
 def test_run_returns_immediately_with_no_work():
     engine = Engine()
     assert engine.run() == 0
+
+
+def test_register_stores_tickable_for_activate():
+    """register() remembers the tickable, so activate only needs the id."""
+    engine = Engine()
+    a, b = Counter(engine, stop_after=3), Counter(engine, stop_after=5)
+    assert (a.tid, b.tid) == (0, 1)
+    a.start()
+    b.start()
+    engine.run()
+    assert (a.ticks, b.ticks) == (3, 5)
+
+
+def test_activate_unregistered_id_rejected():
+    engine = Engine()
+    with pytest.raises(KeyError):
+        engine.activate(99)

@@ -1,9 +1,11 @@
 """Tests for the experiment harness (tiny problem sizes)."""
 
+import json
+
 import pytest
 
 from repro.experiments import figures
-from repro.experiments.runner import EXPERIMENTS, run
+from repro.experiments.runner import EXPERIMENTS, run, select
 
 
 class TestTable51:
@@ -82,6 +84,61 @@ class TestRunner:
         with pytest.raises(ValueError, match="unknown experiment"):
             run(["fig9.9"])
 
+    def test_unknown_experiment_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean fig6.3"):
+            run(["fig6.33"])
+
+    def test_duplicates_deduped_preserving_order(self):
+        assert select(["fig6.3", "table5.1", "fig6.3"]) == ["fig6.3", "table5.1"]
+
+    def test_duplicate_request_runs_once(self):
+        out = run(["table5.1", "table5.1"])
+        assert out.count("Table 5.1:") == 1
+
     def test_table_runs_standalone(self):
         out = run(["table5.1"])
         assert "Table 5.1" in out
+
+    def test_table_json_format(self):
+        data = json.loads(run(["table5.1"], fmt="json"))
+        assert data["table5.1"]["table5.1"]["GPU SMs"] == "15"
+        assert data["table5.1"]["config"]["num_sms"] == 15
+
+    def test_table_csv_format(self):
+        out = run(["table5.1"], fmt="csv")
+        assert out.startswith("parameter,value\n")
+        assert "GPU SMs" in out
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            run(["table5.1"], fmt="xml")
+
+
+class TestParallelAndCache:
+    """Figure-level acceptance: --jobs N and --cache change nothing but time."""
+
+    ARGS = dict(total_nodes=30, warps_per_tb=2)
+
+    def test_parallel_render_byte_identical(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        serial = figures.fig61(jobs=1, cache_dir=cache, **self.ARGS)
+        parallel = figures.fig61(jobs=4, **self.ARGS)
+        assert serial.render() == parallel.render()
+        assert serial.to_csv() == parallel.to_csv()
+        # the serial run populated the cache; this one must be all hits
+        cached = figures.fig61(jobs=1, cache_dir=cache, **self.ARGS)
+        assert all(r.cached for r in cached.records)
+        assert cached.render() == serial.render()
+
+    def test_experiment_result_exports(self, tmp_path):
+        result = figures.fig61(
+            jobs=1, cache_dir=str(tmp_path / "cache"), **self.ARGS
+        )
+        data = result.to_dict()
+        assert set(data["results"]) == {"gpu-coh", "denovo"}
+        assert data["results"]["gpu-coh"]["cycles"] == result.results["gpu-coh"].cycles
+        assert len(data["claims"]) == len(result.claims)
+        json.dumps(data)  # must be JSON-ready
+        csv = result.to_csv()
+        assert csv.startswith("experiment,config,category,cycles\n")
+        assert "fig6.1-uts,denovo,no_stall," in csv

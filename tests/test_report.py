@@ -8,6 +8,7 @@ from repro.core.report import (
     format_table,
     summarize,
     to_csv,
+    to_json,
 )
 from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
 
@@ -85,6 +86,14 @@ class TestBarsAndCsv:
         data = {row.split(",")[1]: int(row.split(",")[2]) for row in lines[1:]}
         assert data["no_stall"] == 50
         assert data["mem_data:remote_l1"] == 5
+
+    def test_json_round_trips_breakdowns(self):
+        import json
+
+        data = json.loads(to_json({"cfg": sample()}))
+        restored = StallBreakdown.from_dict(data["cfg"])
+        assert restored.counts == sample().counts
+        assert restored.mem_data == sample().mem_data
 
     def test_summarize_names_dominant(self):
         assert "no_stall" in summarize("x", sample())
