@@ -37,6 +37,13 @@ def _timings_path() -> str:
     )
 
 
+def _bench_engine_path() -> str:
+    return os.environ.get(
+        "REPRO_BENCH_ENGINE",
+        os.path.join(os.path.dirname(__file__), "artifacts", "BENCH_engine.json"),
+    )
+
+
 def _record(record) -> None:
     if record.cached:  # cache hits carry the original run's time, not ours
         return
@@ -46,6 +53,7 @@ def _record(record) -> None:
             "key": record.scenario.key(),
             "workload": record.scenario.workload,
             "cycles": record.result.cycles,
+            "engine_events": record.result.stats.get("engine", {}).get("events"),
             "elapsed_s": round(record.elapsed_s, 6),
         }
     )
@@ -53,7 +61,16 @@ def _record(record) -> None:
 
 @pytest.fixture(scope="session", autouse=True)
 def scenario_timing_artifact():
-    """Tap the executor for the whole session; flush one JSON artifact."""
+    """Tap the executor for the whole session; flush the JSON artifacts.
+
+    Two files land in ``benchmarks/artifacts/``:
+
+    * ``scenario_timings.json`` -- raw per-scenario wall-clock (legacy
+      artifact; entries now also carry ``engine_events``);
+    * ``BENCH_engine.json`` -- the engine perf trajectory: cycles/sec and
+      wall-clock per fig-6.x scenario, the number the hot-loop work is
+      benchmarked against across commits.
+    """
     previous = executor.record_hook
     executor.record_hook = _record
     yield
@@ -66,6 +83,28 @@ def scenario_timing_artifact():
         os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump({"scenarios": _TIMINGS}, fh, indent=2, sort_keys=True)
+    bench = {
+        "unit": "simulated GPU cycles per host second",
+        "scenarios": [
+            {
+                "scenario": t["scenario"],
+                "workload": t["workload"],
+                "cycles": t["cycles"],
+                "engine_events": t["engine_events"],
+                "wall_clock_s": t["elapsed_s"],
+                "cycles_per_sec": (
+                    round(t["cycles"] / t["elapsed_s"], 1) if t["elapsed_s"] else None
+                ),
+            }
+            for t in _TIMINGS
+        ],
+    }
+    bench_path = _bench_engine_path()
+    parent = os.path.dirname(bench_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
 
 
 def run_once(benchmark, fn):

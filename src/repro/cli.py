@@ -16,7 +16,7 @@ import sys
 from typing import Callable
 
 from repro.core.energy import estimate_energy
-from repro.core.report import format_stacked_bars, format_table
+from repro.core.report import format_stacked_bars, format_stats_tree, format_table
 from repro.core.timeline import render_timeline
 from repro.sim.config import Protocol, SystemConfig
 from repro.system import run_workload
@@ -94,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timeline", type=int, default=None, metavar="CYCLES",
                      help="enable windowed timelines with this bucket size")
     run.add_argument("--energy", action="store_true", help="print energy report")
+    run.add_argument("--stats", action="store_true",
+                     help="print the full component stats tree")
     run.add_argument("--per-sm", action="store_true", help="per-SM breakdowns")
     run.add_argument("--seed", type=int, default=2016)
     return parser
@@ -125,6 +127,8 @@ def cmd_run(args) -> int:
         print(render_timeline(result.timeline))
     if args.energy:
         print(estimate_energy(result).render())
+    if args.stats:
+        print(format_stats_tree(result.stats_tree))
     return 0
 
 

@@ -2,6 +2,12 @@
 breakdowns and reporting."""
 
 from repro.core.attribution import Inspector, SmAttribution
+from repro.core.component import (
+    Component,
+    StatCounter,
+    StatHistogram,
+    StatsSnapshot,
+)
 from repro.core.energy import EnergyModel, EnergyReport, compare_energy, estimate_energy
 from repro.core.timeline import Timeline, render_timeline
 from repro.core.breakdown import StallBreakdown
@@ -25,6 +31,10 @@ from repro.core.stall_types import (
 
 __all__ = [
     "CYCLE_PRIORITY",
+    "Component",
+    "StatCounter",
+    "StatHistogram",
+    "StatsSnapshot",
     "EnergyModel",
     "EnergyReport",
     "Timeline",

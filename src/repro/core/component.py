@@ -1,0 +1,418 @@
+"""Unified Component/Stats substrate.
+
+Every structural piece of the simulated system (SMs, caches, MSHRs, store
+buffers, NoC, DMA engines, the engine itself) derives from
+:class:`Component`: a node in a named parent/child tree with *declarative*
+statistics.  A component announces a counter once::
+
+    self.hits = self.stat_counter("hits")
+
+and from then on ``self.hits += 1`` works exactly like the bare integer it
+replaces (:class:`StatCounter` is int-like), while the counter is
+automatically part of the component's :meth:`Component.stats` snapshot --
+a tree mirroring the hardware hierarchy that exports to nested dicts, flat
+``path,stat,value`` CSV, or JSON, and resets recursively.  Adding a new
+metric anywhere in the system is therefore a one-line change: declare it,
+bump it, and every report/export path picks it up.
+
+Three stat flavours cover the simulator's needs:
+
+* :meth:`Component.stat_counter` -- a monotonically adjusted int-like value
+  (the common case);
+* :meth:`Component.stat_histogram` -- bucketed occurrence counts
+  (occupancy distributions and the like);
+* :meth:`Component.stat_derived` -- a zero-cost view over state the
+  component already maintains (hot-loop counters kept as plain ints, or
+  values computed from others, e.g. the mesh's average hop count).
+  Derived stats are evaluated lazily at snapshot time, so they add nothing
+  to the simulation's hot paths.
+
+Engine access: components that schedule events receive the engine at
+construction (a plain attribute, because hot loops read it every cycle);
+a sub-unit built without one can resolve and cache its nearest ancestor's
+via :meth:`Component.find_engine` instead of hand-threaded plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+
+class StatCounter:
+    """An int-like counter that stays registered with its component.
+
+    Supports ``+=``/``-=`` (in-place mutation, so the attribute binding
+    never changes), arithmetic and comparisons against plain numbers, and
+    ``int()``/``%d`` formatting.  Equality follows the value; identity (and
+    hash) follows the object, since two distinct counters holding the same
+    value are still distinct stats.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    # mutation ----------------------------------------------------------
+    def __iadd__(self, n) -> "StatCounter":
+        self.value += n
+        return self
+
+    def __isub__(self, n) -> "StatCounter":
+        self.value -= n
+        return self
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def maximize(self, candidate: int) -> None:
+        """Track a high-water mark (peak occupancy and the like)."""
+        if candidate > self.value:
+            self.value = candidate
+
+    def reset(self) -> None:
+        self.value = 0
+
+    # int-like protocol -------------------------------------------------
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __index__(self) -> int:
+        return int(self.value)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __eq__(self, other) -> bool:
+        return self.value == (other.value if isinstance(other, StatCounter) else other)
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __lt__(self, other):
+        return self.value < (other.value if isinstance(other, StatCounter) else other)
+
+    def __le__(self, other):
+        return self.value <= (other.value if isinstance(other, StatCounter) else other)
+
+    def __gt__(self, other):
+        return self.value > (other.value if isinstance(other, StatCounter) else other)
+
+    def __ge__(self, other):
+        return self.value >= (other.value if isinstance(other, StatCounter) else other)
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __add__(self, other):
+        return self.value + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.value - other
+
+    def __rsub__(self, other):
+        return other - self.value
+
+    def __mul__(self, other):
+        return self.value * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self.value / other
+
+    def __rtruediv__(self, other):
+        return other / self.value
+
+    def __floordiv__(self, other):
+        return self.value // other
+
+    def __mod__(self, other):
+        return self.value % other
+
+    def __neg__(self):
+        return -self.value
+
+    def __repr__(self) -> str:
+        return "StatCounter(%r, %d)" % (self.name, self.value)
+
+
+class StatHistogram:
+    """Bucketed occurrence counts (e.g. occupancy distributions)."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, bucket: int, n: int = 1) -> None:
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def reset(self) -> None:
+        self.buckets.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Stable string-keyed bucket map (JSON/CSV friendly)."""
+        return {str(k): self.buckets[k] for k in sorted(self.buckets)}
+
+    def __repr__(self) -> str:
+        return "StatHistogram(%r, %r)" % (self.name, self.buckets)
+
+
+class StatsSnapshot:
+    """One component's stats at a point in time, with its children.
+
+    ``values`` maps stat name to a plain int/float (counters, derived) or a
+    string-keyed dict (histograms); ``children`` maps child name to a nested
+    snapshot.  ``snap["child.grandchild"]`` navigates the tree and
+    ``snap["stat"]`` reads a value, so consumers never touch component
+    attributes directly.
+    """
+
+    __slots__ = ("name", "values", "children")
+
+    def __init__(
+        self,
+        name: str,
+        values: dict[str, object] | None = None,
+        children: "dict[str, StatsSnapshot] | None" = None,
+    ) -> None:
+        self.name = name
+        self.values = values if values is not None else {}
+        self.children = children if children is not None else {}
+
+    # navigation --------------------------------------------------------
+    def __getitem__(self, key: str):
+        """Dotted-path access: child snapshots first, then stat values."""
+        node = self
+        parts = key.split(".")
+        for i, part in enumerate(parts):
+            if part in node.children:
+                node = node.children[part]
+            elif i == len(parts) - 1 and part in node.values:
+                return node.values[part]
+            else:
+                raise KeyError("no stat or child %r under %r" % (key, self.name))
+        return node
+
+    def get(self, key: str, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # export ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (JSON-ready)."""
+        out: dict = {"stats": dict(self.values)}
+        if self.children:
+            out["children"] = {
+                name: child.to_dict() for name, child in self.children.items()
+            }
+        return out
+
+    @staticmethod
+    def from_dict(name: str, data: Mapping) -> "StatsSnapshot":
+        return StatsSnapshot(
+            name,
+            dict(data.get("stats", {})),
+            {
+                child: StatsSnapshot.from_dict(child, sub)
+                for child, sub in data.get("children", {}).items()
+            },
+        )
+
+    def flatten(self, prefix: str = "") -> dict[str, object]:
+        """Flat ``path.stat -> value`` map over the whole subtree."""
+        base = prefix or self.name
+        out: dict[str, object] = {}
+        for stat, value in self.values.items():
+            if isinstance(value, dict):
+                for bucket, count in value.items():
+                    out["%s.%s[%s]" % (base, stat, bucket)] = count
+            else:
+                out["%s.%s" % (base, stat)] = value
+        for name, child in self.children.items():
+            out.update(child.flatten("%s.%s" % (base, name)))
+        return out
+
+    def to_csv(self) -> str:
+        """``path,stat,value`` rows for the whole subtree (header included)."""
+        lines = ["path,stat,value"]
+        for key, value in self.flatten().items():
+            path, _, stat = key.rpartition(".")
+            lines.append("%s,%s,%s" % (path, stat, value))
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return "StatsSnapshot(%r, %d stats, %d children)" % (
+            self.name,
+            len(self.values),
+            len(self.children),
+        )
+
+
+class Component:
+    """A named node in the system tree with declarative statistics.
+
+    Subclasses call ``Component.__init__(self, name, parent=...)`` first,
+    then declare stats.  The tree is assembled either by passing ``parent``
+    at construction or by :meth:`add_child` afterwards (the system root
+    adopts components built before it existed).
+    """
+
+    def __init__(self, name: str, parent: "Component | None" = None) -> None:
+        self._name = name
+        self._parent: Component | None = None
+        self._children: dict[str, Component] = {}
+        self._stat_counters: dict[str, StatCounter] = {}
+        self._stat_histograms: dict[str, StatHistogram] = {}
+        self._stat_derived: dict[str, Callable[[], object]] = {}
+        #: the simulation engine; a *plain* attribute because hot loops read
+        #: it every cycle.  Subclasses that receive an engine assign it;
+        #: sub-units without one resolve it lazily via :meth:`find_engine`.
+        self.engine = None
+        if parent is not None:
+            parent.add_child(self)
+
+    # tree --------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def parent(self) -> "Component | None":
+        return self._parent
+
+    @property
+    def children(self) -> "dict[str, Component]":
+        return dict(self._children)
+
+    def add_child(self, child: "Component", name: str | None = None) -> "Component":
+        """Adopt ``child`` (re-parenting allowed; names must be unique)."""
+        if child._parent is not None:
+            # Unlink under the *old* name before any rename, or the old
+            # parent would keep a stale entry and double-count the subtree.
+            child._parent._children.pop(child._name, None)
+            child._parent = None
+        if name is not None:
+            child._name = name
+        if child._name in self._children and self._children[child._name] is not child:
+            raise ValueError(
+                "component %r already has a child named %r" % (self._name, child._name)
+            )
+        child._parent = self
+        self._children[child._name] = child
+        return child
+
+    def path(self) -> str:
+        """Dotted path from the tree root, e.g. ``system.sm0.l1.mshr``."""
+        parts = [self._name]
+        node = self._parent
+        while node is not None:
+            parts.append(node._name)
+            node = node._parent
+        return ".".join(reversed(parts))
+
+    def find(self, path: str) -> "Component":
+        """Resolve a dotted child path relative to this component."""
+        node = self
+        for part in path.split("."):
+            try:
+                node = node._children[part]
+            except KeyError:
+                raise KeyError("no component %r under %r" % (path, self.path()))
+        return node
+
+    def iter_components(self) -> "Iterator[Component]":
+        """Depth-first walk of this subtree (self first)."""
+        yield self
+        for child in self._children.values():
+            yield from child.iter_components()
+
+    # engine access -----------------------------------------------------
+    def find_engine(self):
+        """This component's engine, inherited from ancestors if unset.
+
+        Caches the resolved engine on first use so later reads are plain
+        attribute accesses.
+        """
+        if self.engine is not None:
+            return self.engine
+        node = self._parent
+        while node is not None:
+            if node.engine is not None:
+                self.engine = node.engine
+                return self.engine
+            node = node._parent
+        return None
+
+    # stat declaration --------------------------------------------------
+    def stat_counter(self, name: str, initial: int = 0) -> StatCounter:
+        """Declare (or fetch) an int-like counter registered with the tree."""
+        counter = self._stat_counters.get(name)
+        if counter is None:
+            counter = self._stat_counters[name] = StatCounter(name, initial)
+        return counter
+
+    def stat_histogram(self, name: str) -> StatHistogram:
+        """Declare (or fetch) a bucketed histogram."""
+        hist = self._stat_histograms.get(name)
+        if hist is None:
+            hist = self._stat_histograms[name] = StatHistogram(name)
+        return hist
+
+    def stat_derived(self, name: str, fn: Callable[[], object]) -> None:
+        """Register a zero-overhead stat computed at snapshot time.
+
+        Use for hot-loop counters kept as plain ints and for values derived
+        from other stats; ``fn`` runs only when :meth:`stats` is taken.
+        """
+        self._stat_derived[name] = fn
+
+    # snapshot / reset ---------------------------------------------------
+    def stats(self) -> StatsSnapshot:
+        """Recursive point-in-time snapshot of this subtree's statistics."""
+        values: dict[str, object] = {
+            name: c.value for name, c in self._stat_counters.items()
+        }
+        for name, hist in self._stat_histograms.items():
+            values[name] = hist.snapshot()
+        for name, fn in self._stat_derived.items():
+            values[name] = fn()
+        return StatsSnapshot(
+            self._name,
+            values,
+            {name: child.stats() for name, child in self._children.items()},
+        )
+
+    def reset_stats(self) -> None:
+        """Zero every counter/histogram in this subtree.
+
+        Components backing derived stats with plain attributes reset them in
+        :meth:`on_reset_stats`.
+        """
+        for counter in self._stat_counters.values():
+            counter.reset()
+        for hist in self._stat_histograms.values():
+            hist.reset()
+        self.on_reset_stats()
+        for child in self._children.values():
+            child.reset_stats()
+
+    def on_reset_stats(self) -> None:
+        """Hook: reset plain-attribute state behind derived stats."""

@@ -7,6 +7,12 @@ derives both from the activity counters the simulator already keeps: each
 event class (ALU op, L1 access, L2 access, DRAM access, mesh hop, ...)
 costs a fixed energy, in the style of McPAT-fed accounting.
 
+The counters come from the unified component stats tree
+(:mod:`repro.core.component`); ``SimResult.stats`` -- consumed here -- is
+that tree's frozen flat projection (``repro.system.legacy_stats_view``),
+which is what survives the executor's JSON round-trip, so energy reports
+work identically for fresh, pooled, and cache-served results.
+
 The default per-event energies are round numbers of the right relative
 magnitude for a 28 nm-class node (register/ALU ~ O(1) pJ, SRAM access
 O(10) pJ, NoC hop O(10) pJ, DRAM access O(1000) pJ).  Absolute joules are

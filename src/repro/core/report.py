@@ -162,6 +162,32 @@ def to_csv(breakdowns: Mapping[str, StallBreakdown]) -> str:
     return out.getvalue()
 
 
+def format_stats_tree(snapshot, _depth: int = 0) -> str:
+    """Indented rendering of a :class:`~repro.core.component.StatsSnapshot`.
+
+    Works for any component subtree -- the whole system, one SM, one MSHR --
+    because the snapshot is self-describing; machine-readable forms come
+    from the snapshot itself (``to_dict``/``to_csv``/``flatten``).
+    """
+    pad = "  " * _depth
+    lines = ["%s%s:" % (pad, snapshot.name)]
+    for stat, value in snapshot.values.items():
+        if isinstance(value, dict):
+            rendered = (
+                "{%s}" % ", ".join("%s: %s" % kv for kv in value.items())
+                if value
+                else "{}"
+            )
+        elif isinstance(value, float):
+            rendered = "%.3f" % value
+        else:
+            rendered = str(value)
+        lines.append("%s  %-24s %s" % (pad, stat, rendered))
+    for child in snapshot.children.values():
+        lines.append(format_stats_tree(child, _depth + 1))
+    return "\n".join(lines)
+
+
 def summarize(name: str, breakdown: StallBreakdown) -> str:
     """One-line digest used by examples and logs."""
     total = breakdown.total_cycles

@@ -30,6 +30,10 @@ class StallType(enum.Enum):
     COMP_DATA = "compute_data"
     COMP_STRUCT = "compute_structural"
 
+    # Members are singletons, so identity hashing is exact -- and C-speed,
+    # which matters: these enums key the per-cycle attribution dicts.
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
@@ -73,6 +77,8 @@ class ServiceLocation(enum.Enum):
     REMOTE_L1 = "remote_l1"
     MEMORY = "main_memory"
 
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
@@ -85,6 +91,8 @@ class MemStructCause(enum.Enum):
     BANK_CONFLICT = "bank_conflict"
     PENDING_RELEASE = "pending_release"
     PENDING_DMA = "pending_dma"
+
+    __hash__ = object.__hash__
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

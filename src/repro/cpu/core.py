@@ -13,19 +13,21 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
 from repro.mem.l1 import L1Controller
 
 
-class CpuCore:
+class CpuCore(Component):
     """One CPU core attached to the mesh via its L1 controller."""
 
     def __init__(self, cpu_id: int, node: int, l1: L1Controller) -> None:
+        Component.__init__(self, "cpu%d" % cpu_id)
         self.cpu_id = cpu_id
         self.node = node
-        self.l1 = l1
-        self.loads_done = 0
-        self.stores_done = 0
+        self.l1 = self.add_child(l1)
+        self.loads_done = self.stat_counter("loads_done")
+        self.stores_done = self.stat_counter("stores_done")
 
     # ------------------------------------------------------------------
     def load(

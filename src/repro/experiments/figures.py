@@ -542,22 +542,30 @@ def overhead_experiment(repeats: int = 3) -> dict[str, float]:
     """Wall-clock cost of GSI attribution on a representative workload.
 
     Deliberately *not* scenario-based: it measures host time, which must
-    stay in-process and uncached to mean anything.
+    stay in-process and uncached to mean anything.  The engine-side rates
+    (cycles/sec, events, wake-ups) are read off the run's component stats
+    tree (``SimResult.stats_tree``).
     """
     from repro.workloads.synthetic import StreamingWorkload
     from repro.system import run_workload
 
-    def run_once(enabled: bool) -> float:
+    def run_once(enabled: bool) -> tuple[float, object]:
         wl = StreamingWorkload(num_tbs=8, warps_per_tb=4, elements_per_warp=64)
         cfg = SystemConfig(num_sms=8, gsi_enabled=enabled)
         t0 = time.perf_counter()
-        run_workload(cfg, wl)
-        return time.perf_counter() - t0
+        result = run_workload(cfg, wl)
+        return time.perf_counter() - t0, result
 
-    with_gsi = min(run_once(True) for _ in range(repeats))
-    without = min(run_once(False) for _ in range(repeats))
+    with_runs = [run_once(True) for _ in range(repeats)]
+    without_runs = [run_once(False) for _ in range(repeats)]
+    with_gsi, result = min(with_runs, key=lambda er: er[0])
+    without = min(e for e, _ in without_runs)
+    engine = result.stats_tree["engine"]
     return {
         "with_gsi_s": with_gsi,
         "without_gsi_s": without,
         "overhead_pct": 100.0 * (with_gsi - without) / without if without else 0.0,
+        "cycles_per_sec": engine["cycles"] / with_gsi if with_gsi else 0.0,
+        "engine_events": engine["events"],
+        "engine_wakeups": engine["wakeups"],
     }

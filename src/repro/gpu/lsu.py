@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.component import Component
 from repro.core.stall_types import MemStructCause, ServiceLocation
 from repro.gpu.instruction import Instruction, Op, Space
 from repro.mem.l1 import L1Controller
@@ -53,7 +54,7 @@ class AccessGroup:
         return self.remaining == 0
 
 
-class Lsu:
+class Lsu(Component):
     """One SM's load/store unit."""
 
     def __init__(
@@ -64,6 +65,7 @@ class Lsu:
         dma: "DmaEngine | None" = None,
         stash: "Stash | None" = None,
     ) -> None:
+        Component.__init__(self, "lsu")
         self.config = config
         self.l1 = l1
         self.scratchpad = scratchpad
@@ -71,9 +73,16 @@ class Lsu:
         self.stash = stash
         self.busy_until = 0
         self.release_active = False
-        # statistics
-        self.accepted = 0
+        # statistics: per-cause rejection counts stay a plain dict on the
+        # hot rejection path; the stats tree sees them as one derived map.
+        self.accepted = self.stat_counter("accepted")
         self.rejections: dict[MemStructCause, int] = {c: 0 for c in MemStructCause}
+        self.stat_derived(
+            "rejections", lambda: {c.value: n for c, n in self.rejections.items()}
+        )
+
+    def on_reset_stats(self) -> None:
+        self.rejections = {c: 0 for c in MemStructCause}
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -183,7 +192,7 @@ class Lsu:
         (an instruction issued at T with 1 conflict cycle blocks T+1)."""
         if cycles > 0:
             self.busy_until = max(self.busy_until, now + 1 + cycles)
-        self.accepted += 1
+        self.accepted.value += 1
 
     def begin_release(self) -> None:
         self.release_active = True

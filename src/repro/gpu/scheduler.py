@@ -38,6 +38,8 @@ class LooseRoundRobin(WarpScheduler):
         if n == 0:
             return []
         s = self._start % n
+        if s == 0:
+            return list(warps)
         return list(warps[s:]) + list(warps[:s])
 
     def note_issue(self, warp: Warp, index: int, now: int) -> None:

@@ -16,6 +16,8 @@ class ProducerKind(enum.Enum):
     MEMORY = "memory"
     COMPUTE = "compute"
 
+    __hash__ = object.__hash__
+
 
 class Scoreboard:
     """Pending register writes for one warp."""
@@ -53,6 +55,8 @@ class Scoreboard:
         memory producers or the ready cycle for compute producers, or
         ``None`` if all operands are ready.
         """
+        if not self._pending:
+            return None
         found: tuple[ProducerKind, int] | None = None
         for reg in regs:
             entry = self._pending.get(reg)
@@ -87,9 +91,12 @@ class Scoreboard:
 
     def next_compute_ready(self, now: int) -> int | None:
         """Earliest future cycle a pending compute result lands, if any."""
-        times = [
-            detail
-            for kind, detail in self._pending.values()
-            if kind is ProducerKind.COMPUTE and detail > now
-        ]
-        return min(times) if times else None
+        pending = self._pending
+        if not pending:
+            return None
+        best: int | None = None
+        for kind, detail in pending.values():
+            if kind is ProducerKind.COMPUTE and detail > now:
+                if best is None or detail < best:
+                    best = detail
+        return best

@@ -21,6 +21,7 @@ import random
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.attribution import SmAttribution
+from repro.core.component import Component
 from repro.core.classifier import (
     classify_cycle_first,
     classify_cycle_strong,
@@ -51,7 +52,7 @@ def _next_tag() -> int:
     return next(_tags)
 
 
-class SM:
+class SM(Component):
     """One streaming multiprocessor."""
 
     def __init__(
@@ -67,23 +68,36 @@ class SM:
         dma: "DmaEngine | None" = None,
         stash: "Stash | None" = None,
     ) -> None:
+        Component.__init__(self, "sm%d" % sm_id)
         self.sm_id = sm_id
         self.node = node
         self.config = config
         self.engine = engine
-        self.l1 = l1
+        self.l1 = self.add_child(l1)
         self.memory = memory
         self.attr = attribution
         self.scratchpad = scratchpad
         self.dma = dma
         self.stash = stash
+        if scratchpad is not None:
+            self.add_child(scratchpad)
+        if dma is not None:
+            self.add_child(dma)
+        if stash is not None:
+            self.add_child(stash)
         self.cu = ComputeUnits(config)
+        self.add_child(self.cu)
         self.lsu = Lsu(config, l1, scratchpad=scratchpad, dma=dma, stash=stash)
+        self.add_child(self.lsu)
         # Re-evaluate whenever an MSHR entry or store-buffer slot frees:
         # a warp sleeping on a structural stall may now be issuable.
         l1.resource_freed_hooks.append(self.wake)
         self.scheduler = make_scheduler(config.warp_scheduler)
+        self._issue_width = config.issue_width
         self.warps: list[Warp] = []
+        #: unfinished warps in ``warps`` order, maintained incrementally so
+        #: the per-cycle issue loop never rebuilds it.
+        self._active_warps: list[Warp] = []
         self.kernel: Kernel | None = None
         self.on_tb_complete: Callable[["SM", int], None] | None = None
         self._barriers: dict[int, set[int]] = {}
@@ -93,7 +107,14 @@ class SM:
         self.sleeping = False
         self._sleep_cause: tuple[StallType, object] = (StallType.IDLE, None)
         self._sleep_from = 0
-        # statistics
+        # statistics: bumped every cycle, so kept as plain ints and
+        # surfaced through zero-overhead derived stats.
+        self.instructions_issued = 0
+        self.cycles_ticked = 0
+        self.stat_derived("instructions_issued", lambda: self.instructions_issued)
+        self.stat_derived("cycles_ticked", lambda: self.cycles_ticked)
+
+    def on_reset_stats(self) -> None:
         self.instructions_issued = 0
         self.cycles_ticked = 0
 
@@ -126,6 +147,8 @@ class SM:
             self.warps.append(warp)
             if warp.finished:
                 self._on_warp_finished(warp)
+            else:
+                self._active_warps.append(warp)
         self.wake()
         if not self.engine.is_active(self.tid):
             self.engine.activate(self.tid)
@@ -139,18 +162,18 @@ class SM:
     def tick(self) -> None:
         now = self.engine.now
         self.cycles_ticked += 1
-        active = [w for w in self.warps if not w.finished]
+        active = self._active_warps
         issued = 0
         causes: list[tuple[StallType, object]] = []
         if active:
             for warp in self.scheduler.order(active, now):
-                cause, detail, action = self._evaluate(warp, now)
+                cause, detail, instr = self._evaluate(warp, now)
                 if (
                     cause is StallType.NO_STALL
-                    and issued < self.config.issue_width
-                    and action is not None
+                    and issued < self._issue_width
+                    and instr is not None
                 ):
-                    action()
+                    self._issue(warp, instr, now)
                     self.scheduler.note_issue(warp, 0, now)
                     warp.instructions_issued += 1
                     warp.last_issue = now
@@ -187,7 +210,7 @@ class SM:
     # ------------------------------------------------------------------
     def _evaluate(
         self, warp: Warp, now: int
-    ) -> tuple[StallType, object, Callable[[], None] | None]:
+    ) -> tuple[StallType, object, Instruction | None]:
         if now < warp.fetch_ready_at:
             return (StallType.CONTROL, None, None)
         if warp.waiting_value:
@@ -214,7 +237,7 @@ class SM:
         if instr.op is Op.SFU and not self.cu.sfu_ready(now):
             self.cu.note_sfu_rejection()
             return (StallType.COMP_STRUCT, None, None)
-        return (StallType.NO_STALL, None, lambda w=warp, i=instr: self._issue(w, i, now))
+        return (StallType.NO_STALL, None, instr)
 
     def _release_complete(self) -> None:
         self._active_releases -= 1
@@ -544,6 +567,10 @@ class SM:
             self._on_warp_finished(warp)
 
     def _on_warp_finished(self, warp: Warp) -> None:
+        try:
+            self._active_warps.remove(warp)
+        except ValueError:
+            pass  # finished during priming, before it ever became active
         if self.kernel is not None and self.kernel.on_warp_finish is not None:
             self.kernel.on_warp_finish(self, warp.ctx)
         tb = warp.ctx.tb_id
@@ -562,9 +589,7 @@ class SM:
         self, cause: StallType, detail: object, now: int
     ) -> None:
         wakes: list[int] = []
-        for w in self.warps:
-            if w.finished:
-                continue
+        for w in self._active_warps:
             if now < w.fetch_ready_at:
                 wakes.append(w.fetch_ready_at)
             if w.waiting_value and w.value_producer and w.value_producer[0] == "compute":

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
 from repro.mem.l1 import L1Controller
 from repro.mem.scratchpad import Scratchpad
@@ -43,7 +44,7 @@ class DmaTransfer:
         return self.issued_all and self.outstanding == 0
 
 
-class DmaEngine:
+class DmaEngine(Component):
     """Per-SM DMA engine issuing one line transfer per interval."""
 
     def __init__(
@@ -53,6 +54,7 @@ class DmaEngine:
         l1: L1Controller,
         scratchpad: Scratchpad,
     ) -> None:
+        Component.__init__(self, "dma")
         self.config = config
         self.engine = engine
         self.l1 = l1
@@ -64,9 +66,9 @@ class DmaEngine:
         # before the issue stage saw it.
         l1.resource_freed_hooks.insert(0, self._refill_hook)
         # statistics
-        self.lines_loaded = 0
-        self.lines_stored = 0
-        self.mshr_stall_cycles = 0
+        self.lines_loaded = self.stat_counter("lines_loaded")
+        self.lines_stored = self.stat_counter("lines_stored")
+        self.mshr_stall_cycles = self.stat_counter("mshr_stall_cycles")
 
     # ------------------------------------------------------------------
     def start(self, transfer: DmaTransfer) -> None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
 from repro.mem.cache import LineState, SetAssocCache
 from repro.mem.coherence.base import CoherenceProtocol
@@ -29,7 +30,7 @@ from repro.sim.config import SystemConfig
 LoadCallback = Callable[[ServiceLocation, int], None]  # (where, req_id)
 
 
-class L1Controller:
+class L1Controller(Component):
     """L1 complex of one core (SM or CPU)."""
 
     def __init__(
@@ -41,6 +42,7 @@ class L1Controller:
         protocol: CoherenceProtocol,
         memory: GlobalMemory,
     ) -> None:
+        Component.__init__(self, "l1")
         self.node = node
         self.config = config
         self.mesh = mesh
@@ -49,12 +51,15 @@ class L1Controller:
         self.protocol = protocol
         self.memory = memory
         self.cache = SetAssocCache(config.l1_sets, config.l1_assoc)
+        self.add_child(self.cache)
         self.mshr = Mshr(config.mshr_entries)
+        self.add_child(self.mshr)
         self.store_buffer = StoreBuffer(
             config.store_buffer_entries,
             issue_fn=self._issue_sb_entry,
             write_combining=config.write_combining,
         )
+        self.add_child(self.store_buffer)
         self._drain_scheduled = False
         #: owned lines evicted but whose writeback ack is still in flight;
         #: forwards are serviced from here to avoid protocol races.
@@ -69,15 +74,15 @@ class L1Controller:
         #: req_id -> callback for atomic responses.
         self._atomic_waiters: dict[int, Callable[[int], None]] = {}
         # statistics
-        self.load_hits = 0
-        self.load_misses = 0
-        self.stores = 0
-        self.local_store_hits = 0
-        self.acquires = 0
-        self.releases = 0
-        self.lines_self_invalidated = 0
-        self.remote_serves = 0
-        self.race_fallbacks = 0
+        self.load_hits = self.stat_counter("load_hits")
+        self.load_misses = self.stat_counter("load_misses")
+        self.stores = self.stat_counter("stores")
+        self.local_store_hits = self.stat_counter("local_store_hits")
+        self.acquires = self.stat_counter("acquires")
+        self.releases = self.stat_counter("releases")
+        self.lines_self_invalidated = self.stat_counter("self_invalidated_lines")
+        self.remote_serves = self.stat_counter("remote_serves")
+        self.race_fallbacks = self.stat_counter("race_fallbacks")
 
     # ------------------------------------------------------------------
     # Load path
@@ -96,13 +101,13 @@ class L1Controller:
         is classified.
         """
         if not bypass_l1 and self.cache.lookup(line) is not None:
-            self.load_hits += 1
+            self.load_hits.value += 1
             self.engine.schedule(
                 self.config.l1_hit_latency,
                 lambda: on_done(ServiceLocation.L1, -1),
             )
             return
-        self.load_misses += 1
+        self.load_misses.value += 1
         existing = self.mshr.lookup(line)
         if existing is not None:
             # Secondary miss: satisfied by the primary's response
@@ -149,10 +154,10 @@ class L1Controller:
 
     def store_line(self, line: int, words: set[int] | None = None) -> None:
         """Buffer a store to ``line``.  Caller checks :meth:`can_accept_store`."""
-        self.stores += 1
+        self.stores.value += 1
         if self.protocol.store_completes_locally(self.cache, line):
             # DeNovo: the line is already registered here; done.
-            self.local_store_hits += 1
+            self.local_store_hits.value += 1
             self.cache.lookup(line)  # refresh LRU
             return
         self.store_buffer.write(line, words)
@@ -186,16 +191,16 @@ class L1Controller:
     # ------------------------------------------------------------------
     def acquire_invalidate(self) -> int:
         """Self-invalidate on acquire; returns lines dropped."""
-        self.acquires += 1
+        self.acquires.value += 1
         dropped = self.cache.invalidate_all(
             keep_owned=self.protocol.keeps_owned_on_acquire()
         )
-        self.lines_self_invalidated += dropped
+        self.lines_self_invalidated.value += dropped
         return dropped
 
     def flush_store_buffer(self, on_done: Callable[[], None]) -> None:
         """Release-time flush: fire ``on_done`` when all writes are visible."""
-        self.releases += 1
+        self.releases.value += 1
         self.store_buffer.flush(on_done)
         if self.store_buffer.has_pending():
             self._schedule_drain()
@@ -307,8 +312,8 @@ class L1Controller:
         if state is not LineState.OWNED and msg.line not in self.wb_pending:
             # Raced with an eviction already acknowledged at the L2;
             # functionally harmless (GlobalMemory is authoritative).
-            self.race_fallbacks += 1
-        self.remote_serves += 1
+            self.race_fallbacks.value += 1
+        self.remote_serves.value += 1
         delay = self.config.remote_fwd_latency
         self.engine.schedule(
             delay,
@@ -330,18 +335,3 @@ class L1Controller:
         """Ownership transferred away (or recalled): drop the line."""
         self.cache.invalidate(msg.line)
         self.wb_pending.discard(msg.line)
-
-    # ------------------------------------------------------------------
-    def stats(self) -> dict[str, int]:
-        return {
-            "load_hits": self.load_hits,
-            "load_misses": self.load_misses,
-            "stores": self.stores,
-            "local_store_hits": self.local_store_hits,
-            "acquires": self.acquires,
-            "releases": self.releases,
-            "self_invalidated_lines": self.lines_self_invalidated,
-            "remote_serves": self.remote_serves,
-            "mshr_merges": self.mshr.merges,
-            "sb_combines": self.store_buffer.combines,
-        }

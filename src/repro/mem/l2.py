@@ -20,6 +20,7 @@ cache (Section 6.1.1):
 
 from __future__ import annotations
 
+from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
 from repro.mem.cache import LineState, SetAssocCache
 from repro.mem.main_memory import Dram, GlobalMemory
@@ -28,7 +29,7 @@ from repro.noc.message import Message, MsgType
 from repro.sim.config import SystemConfig
 
 
-class L2Cache:
+class L2Cache(Component):
     """The shared L2: tag arrays per bank, directory, and DRAM backside."""
 
     def __init__(
@@ -38,6 +39,7 @@ class L2Cache:
         memory: GlobalMemory,
         dram: Dram,
     ) -> None:
+        Component.__init__(self, "l2")
         self.config = config
         self.mesh = mesh
         self.engine = mesh.engine
@@ -45,20 +47,22 @@ class L2Cache:
         self.dram = dram
         self.num_banks = config.l2_banks
         self._banks = [
-            SetAssocCache(config.l2_sets_per_bank, config.l2_assoc)
-            for _ in range(self.num_banks)
+            SetAssocCache(config.l2_sets_per_bank, config.l2_assoc, name="bank%d" % i)
+            for i in range(self.num_banks)
         ]
+        for bank in self._banks:
+            self.add_child(bank)
         self._bank_free = [0] * self.num_banks
         #: line -> owning core's node id (DeNovo registration)
         self.owner: dict[int, int] = {}
         # statistics
-        self.loads = 0
-        self.stores = 0
-        self.atomics = 0
-        self.remote_forwards = 0
-        self.ownership_grants = 0
-        self.ownership_recalls = 0
-        self.dram_fills = 0
+        self.loads = self.stat_counter("loads")
+        self.stores = self.stat_counter("stores")
+        self.atomics = self.stat_counter("atomics")
+        self.remote_forwards = self.stat_counter("remote_forwards")
+        self.ownership_grants = self.stat_counter("ownership_grants")
+        self.ownership_recalls = self.stat_counter("ownership_recalls")
+        self.dram_fills = self.stat_counter("dram_fills")
 
     # ------------------------------------------------------------------
     def bank_of(self, line: int) -> int:
@@ -119,13 +123,13 @@ class L2Cache:
 
     # ------------------------------------------------------------------
     def _service_gets(self, msg: Message, bank: int) -> None:
-        self.loads += 1
+        self.loads.value += 1
         line = msg.line
         owner = self.owner.get(line)
         if owner is not None and owner != msg.src:
             # Owned at a remote L1: forward; the owner responds directly to
             # the requester (DeNovo's extra hop).
-            self.remote_forwards += 1
+            self.remote_forwards.value += 1
             self.mesh.send(
                 Message(
                     mtype=MsgType.FWD_GETS,
@@ -144,7 +148,7 @@ class L2Cache:
             self._respond_data(msg, ServiceLocation.L2, extra_delay=self._data_array_delay)
         else:
             done = self.dram.access_done(self.engine.now, line)
-            self.dram_fills += 1
+            self.dram_fills.value += 1
             self._fill(bank, line)
             self._respond_data(
                 msg,
@@ -179,13 +183,13 @@ class L2Cache:
 
     # ------------------------------------------------------------------
     def _service_put_wt(self, msg: Message, bank: int) -> None:
-        self.stores += 1
+        self.stores.value += 1
         line = msg.line
         # A write-through from a non-owner squashes any stale registration
         # (does not occur in race-free workloads, but keeps the directory
         # consistent under stress tests).
         if self.owner.get(line) is not None and self.owner[line] != msg.src:
-            self.ownership_recalls += 1
+            self.ownership_recalls.value += 1
             self._recall(line)
         self._fill(bank, line)
         self._ack(msg)
@@ -198,7 +202,7 @@ class L2Cache:
             # Transfer: invalidate the previous owner; the grant is delayed
             # by the forward distance, modelling the extra hop the paper
             # attributes to ownership-request redirection.
-            self.ownership_recalls += 1
+            self.ownership_recalls.value += 1
             self.mesh.send(
                 Message(
                     mtype=MsgType.FWD_GETO,
@@ -210,7 +214,7 @@ class L2Cache:
             )
             extra = self.mesh.hops(self.node_of_line(line), prev) * self.mesh.hop_latency
         self.owner[line] = msg.src
-        self.ownership_grants += 1
+        self.ownership_grants.value += 1
         home = self.node_of_line(line)
 
         def _grant() -> None:
@@ -245,7 +249,7 @@ class L2Cache:
 
     # ------------------------------------------------------------------
     def _service_atomic(self, msg: Message, bank: int) -> None:
-        self.atomics += 1
+        self.atomics.value += 1
         line = msg.line
         extra = 0
         if self.owner.get(line) is not None and self.owner[line] != msg.src:
@@ -254,7 +258,7 @@ class L2Cache:
             # atomically in the workloads studied).
             prev = self.owner[line]
             extra = self.mesh.hops(self.node_of_line(line), prev) * self.mesh.hop_latency
-            self.ownership_recalls += 1
+            self.ownership_recalls.value += 1
             self._recall(line)
         assert msg.atomic_fn is not None and msg.word_addr is not None
 
@@ -299,15 +303,3 @@ class L2Cache:
                 meta=req.meta,
             )
         )
-
-    # ------------------------------------------------------------------
-    def stats(self) -> dict[str, int]:
-        return {
-            "loads": self.loads,
-            "stores": self.stores,
-            "atomics": self.atomics,
-            "remote_forwards": self.remote_forwards,
-            "ownership_grants": self.ownership_grants,
-            "ownership_recalls": self.ownership_recalls,
-            "dram_fills": self.dram_fills,
-        }

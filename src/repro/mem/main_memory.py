@@ -16,6 +16,8 @@ queues up realistically.
 
 from __future__ import annotations
 
+from repro.core.component import Component
+
 
 class GlobalMemory:
     """Word-addressable functional memory (4-byte words, default 0)."""
@@ -47,16 +49,17 @@ class GlobalMemory:
         return len(self._words)
 
 
-class Dram:
+class Dram(Component):
     """Per-channel DRAM timing: fixed latency + one access per cycle."""
 
     def __init__(self, latency: int = 170, channels: int = 4) -> None:
         if channels < 1:
             raise ValueError("need at least one DRAM channel")
+        Component.__init__(self, "dram")
         self.latency = latency
         self.channels = channels
         self._free: list[int] = [0] * channels
-        self.accesses = 0
+        self.accesses = self.stat_counter("accesses")
 
     def channel_of(self, line: int) -> int:
         return line % self.channels
@@ -66,5 +69,5 @@ class Dram:
         ch = self.channel_of(line)
         start = max(now, self._free[ch])
         self._free[ch] = start + 1
-        self.accesses += 1
+        self.accesses.value += 1
         return start + self.latency

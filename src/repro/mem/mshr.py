@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.component import Component
+
 
 @dataclass
 class MshrEntry:
@@ -27,19 +29,21 @@ class MshrEntry:
     allocated_at: int = 0
 
 
-class Mshr:
+class Mshr(Component):
     """Per-SM miss tracking with merge (secondary-miss coalescing)."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: str = "mshr") -> None:
         if capacity < 1:
             raise ValueError("MSHR needs at least one entry")
+        Component.__init__(self, name)
         self.capacity = capacity
         self._entries: dict[int, MshrEntry] = {}
         # statistics
-        self.allocations = 0
-        self.merges = 0
-        self.full_rejections = 0
-        self.peak_occupancy = 0
+        self.allocations = self.stat_counter("allocations")
+        self.merges = self.stat_counter("merges")
+        self.full_rejections = self.stat_counter("full_rejections")
+        self.peak_occupancy = self.stat_counter("peak_occupancy")
+        self.occupancy_hist = self.stat_histogram("occupancy_hist")
 
     # ------------------------------------------------------------------
     @property
@@ -60,15 +64,17 @@ class Mshr:
             raise RuntimeError("MSHR overflow")
         entry = MshrEntry(line=line, req_id=req_id, allocated_at=now)
         self._entries[line] = entry
-        self.allocations += 1
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        self.allocations.value += 1
+        occupied = len(self._entries)
+        self.peak_occupancy.maximize(occupied)
+        self.occupancy_hist.observe(occupied)
         return entry
 
     def merge(self, line: int, waiter: Any) -> MshrEntry:
         """Attach a secondary miss to an existing entry."""
         entry = self._entries[line]
         entry.merged_waiters.append(waiter)
-        self.merges += 1
+        self.merges.value += 1
         return entry
 
     def complete(self, line: int) -> MshrEntry:
@@ -79,7 +85,7 @@ class Mshr:
         return entry
 
     def note_rejection(self) -> None:
-        self.full_rejections += 1
+        self.full_rejections.value += 1
 
     def outstanding_lines(self) -> list[int]:
         return list(self._entries.keys())

@@ -12,8 +12,10 @@ what the "bank conflict" memory structural stall sub-class measures.
 
 from __future__ import annotations
 
+from repro.core.component import Component
 
-class Scratchpad:
+
+class Scratchpad(Component):
     """Functional storage plus bank-conflict accounting for one SM."""
 
     WORD = 4
@@ -21,13 +23,14 @@ class Scratchpad:
     def __init__(self, size: int, banks: int, hit_latency: int = 1) -> None:
         if size % (banks * self.WORD):
             raise ValueError("scratchpad size must divide evenly across banks")
+        Component.__init__(self, "scratchpad")
         self.size = size
         self.banks = banks
         self.hit_latency = hit_latency
         self._words: dict[int, int] = {}
         # statistics
-        self.accesses = 0
-        self.conflict_cycles = 0
+        self.accesses = self.stat_counter("accesses")
+        self.conflict_cycles = self.stat_counter("conflict_cycles")
 
     # ------------------------------------------------------------------
     def bank_of(self, addr: int) -> int:
@@ -46,8 +49,8 @@ class Scratchpad:
     def access_cycles(self, addrs: list[int]) -> int:
         """Cycles the access occupies a scratchpad port (serialization)."""
         degree = self.conflict_degree(addrs)
-        self.accesses += 1
-        self.conflict_cycles += degree - 1
+        self.accesses.value += 1
+        self.conflict_cycles.value += degree - 1
         return self.hit_latency + (degree - 1)
 
     # ------------------------------------------------------------------

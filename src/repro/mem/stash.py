@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
 from repro.mem.l1 import L1Controller
 from repro.mem.scratchpad import Scratchpad
@@ -42,7 +43,7 @@ class StashMapping:
         return self.global_base + (scratch_addr - self.scratch_base)
 
 
-class Stash:
+class Stash(Component):
     """Per-SM stash: storage, map, valid/dirty tracking, lazy writeback."""
 
     def __init__(
@@ -52,6 +53,7 @@ class Stash:
         l1: L1Controller,
         storage: Scratchpad,
     ) -> None:
+        Component.__init__(self, "stash")
         self.config = config
         self.engine = engine
         self.l1 = l1
@@ -66,9 +68,9 @@ class Stash:
         self._wb_scheduled = False
         self._wb_outstanding = 0
         # statistics
-        self.hits = 0
-        self.fills = 0
-        self.writebacks = 0
+        self.hits = self.stat_counter("hits")
+        self.fills = self.stat_counter("fills")
+        self.writebacks = self.stat_counter("writebacks")
 
     # ------------------------------------------------------------------
     def map_region(self, scratch_base: int, global_base: int, size: int) -> None:
@@ -129,7 +131,7 @@ class Stash:
         """Load through the stash map; fills on first touch."""
         lline = self.local_line(scratch_addr)
         if lline in self._valid:
-            self.hits += 1
+            self.hits.value += 1
             self.engine.schedule(
                 self.storage.hit_latency,
                 lambda: on_done(ServiceLocation.L1),
@@ -158,7 +160,7 @@ class Stash:
             if mapping.contains(saddr):
                 self.storage.store_word(saddr, self.l1.memory.load_word(mapping.to_global(saddr)))
         self._valid.add(lline)
-        self.fills += 1
+        self.fills.value += 1
         for cb in self._filling.pop(lline, []):
             cb(loc)
 
@@ -226,7 +228,7 @@ class Stash:
             if mapping.contains(saddr):
                 self.l1.memory.store_word(mapping.to_global(saddr), self.storage.load_word(saddr))
         self.l1.store_line(gline)
-        self.writebacks += 1
+        self.writebacks.value += 1
         self._schedule_wb()
 
     def writeback_idle(self) -> bool:

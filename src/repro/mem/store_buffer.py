@@ -24,6 +24,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.component import Component
+
 
 class SbEntryState(enum.Enum):
     PENDING = "pending"    # waiting to be issued to the memory system
@@ -38,7 +40,7 @@ class SbEntry:
     seq: int = 0
 
 
-class StoreBuffer:
+class StoreBuffer(Component):
     """Write-combining store buffer with flush barriers."""
 
     def __init__(
@@ -47,9 +49,11 @@ class StoreBuffer:
         issue_fn: Callable[[SbEntry], None],
         write_combining: bool = True,
         drain_interval: int = 1,
+        name: str = "store_buffer",
     ) -> None:
         if capacity < 1:
             raise ValueError("store buffer needs at least one entry")
+        Component.__init__(self, name)
         self.capacity = capacity
         self.write_combining = write_combining
         self.drain_interval = drain_interval
@@ -61,11 +65,11 @@ class StoreBuffer:
         self._seq = 0
         self._flush_waiters: list[tuple[int, Callable[[], None]]] = []
         # statistics
-        self.stores_accepted = 0
-        self.combines = 0
-        self.full_rejections = 0
-        self.flushes = 0
-        self.peak_occupancy = 0
+        self.stores_accepted = self.stat_counter("stores_accepted")
+        self.combines = self.stat_counter("combines")
+        self.full_rejections = self.stat_counter("full_rejections")
+        self.flushes = self.stat_counter("flushes")
+        self.peak_occupancy = self.stat_counter("peak_occupancy")
 
     # ------------------------------------------------------------------
     @property
@@ -92,8 +96,8 @@ class StoreBuffer:
         if self.has_combinable_entry(line):
             entry = self._entries[self._pending_by_line[line]]
             entry.words |= words
-            self.combines += 1
-            self.stores_accepted += 1
+            self.combines.value += 1
+            self.stores_accepted.value += 1
             return entry
         if self.is_full():
             raise RuntimeError("store buffer overflow")
@@ -102,8 +106,8 @@ class StoreBuffer:
         self._entries[self._seq] = entry
         if self.write_combining:
             self._pending_by_line[line] = self._seq
-        self.stores_accepted += 1
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        self.stores_accepted.value += 1
+        self.peak_occupancy.maximize(len(self._entries))
         return entry
 
     # ------------------------------------------------------------------
@@ -137,7 +141,7 @@ class StoreBuffer:
     # ------------------------------------------------------------------
     def flush(self, on_done: Callable[[], None]) -> None:
         """Run ``on_done`` once every entry allocated so far is acknowledged."""
-        self.flushes += 1
+        self.flushes.value += 1
         if self.is_empty():
             on_done()
             return

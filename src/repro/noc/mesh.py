@@ -9,17 +9,22 @@ source injection port and the destination ejection port.  This reproduces
 the two congestion effects the paper relies on: hot L2 banks back up under
 bursty traffic (DMA, store-buffer flushes), and NUCA latency varies with
 mesh distance (which is where the Table 5.1 latency *ranges* come from).
+
+``send`` sits on the simulator's hot path (every memory request crosses it
+twice), so hop distances are precomputed into a dense table at construction
+and the traffic counters are plain ints surfaced as derived stats.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.core.component import Component
 from repro.noc.message import Message
 from repro.sim.engine import Engine
 
 
-class Mesh:
+class Mesh(Component):
     """XY-routed mesh with per-endpoint serialization."""
 
     def __init__(
@@ -35,26 +40,44 @@ class Mesh:
             raise ValueError("mesh must have at least one node")
         if endpoint_bw < 1:
             raise ValueError("endpoint bandwidth must be at least 1 msg/cycle")
+        Component.__init__(self, "mesh")
         self.engine = engine
         self.rows = rows
         self.cols = cols
+        self.num_nodes = rows * cols
         self.hop_latency = hop_latency
         self.router_latency = router_latency
         self.endpoint_bw = endpoint_bw
+        #: dense Manhattan-distance table: ``_hop_table[src][dst]``
+        self._hop_table: list[list[int]] = [
+            [
+                abs(s // cols - d // cols) + abs(s % cols - d % cols)
+                for d in range(self.num_nodes)
+            ]
+            for s in range(self.num_nodes)
+        ]
         # Port reservations in 1/endpoint_bw-cycle slots.
         self._handlers: dict[int, Callable[[Message], None]] = {}
         self._inject_free: dict[int, int] = {}
         self._eject_free: dict[int, int] = {}
-        # statistics
+        # statistics: plain ints (bumped per message) exposed as derived
+        # stats, plus averages computed at snapshot time.
+        self.messages_sent = 0
+        self.total_hops = 0
+        self.total_latency = 0
+        self.stat_derived("messages", lambda: self.messages_sent)
+        self.stat_derived("total_hops", lambda: self.total_hops)
+        self.stat_derived("avg_hops", lambda: self.total_hops / max(1, self.messages_sent))
+        self.stat_derived(
+            "avg_latency", lambda: self.total_latency / max(1, self.messages_sent)
+        )
+
+    def on_reset_stats(self) -> None:
         self.messages_sent = 0
         self.total_hops = 0
         self.total_latency = 0
 
     # ------------------------------------------------------------------
-    @property
-    def num_nodes(self) -> int:
-        return self.rows * self.cols
-
     def attach(self, node: int, handler: Callable[[Message], None]) -> None:
         """Register the message handler for ``node``."""
         self._check_node(node)
@@ -68,9 +91,9 @@ class Mesh:
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan distance under XY routing."""
-        sr, sc = self.coords(src)
-        dr, dc = self.coords(dst)
-        return abs(sr - dr) + abs(sc - dc)
+        self._check_node(src)
+        self._check_node(dst)
+        return self._hop_table[src][dst]
 
     def xy_route(self, src: int, dst: int) -> list[int]:
         """The node sequence an XY-routed packet traverses (inclusive)."""
@@ -89,36 +112,40 @@ class Mesh:
     # ------------------------------------------------------------------
     def send(self, msg: Message) -> int:
         """Inject ``msg``; returns the cycle it will be delivered."""
-        self._check_node(msg.src)
-        self._check_node(msg.dst)
-        if msg.dst not in self._handlers:
-            raise ValueError("no handler attached at node %d" % msg.dst)
-        now = self.engine.now
+        src = msg.src
+        dst = msg.dst
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self._check_node(src)
+            self._check_node(dst)
+            raise ValueError("no handler attached at node %d" % dst)
+        if not 0 <= src < self.num_nodes:
+            self._check_node(src)
+        engine = self.engine
+        now = engine.now
         bw = self.endpoint_bw
-        inj_slot = max(now * bw, self._inject_free.get(msg.src, 0))
-        self._inject_free[msg.src] = inj_slot + 1
-        depart = inj_slot // bw
-        hops = self.hops(msg.src, msg.dst)
-        arrive = depart + hops * self.hop_latency + self.router_latency
-        ej_slot = max(arrive * bw, self._eject_free.get(msg.dst, 0))
-        self._eject_free[msg.dst] = ej_slot + 1
+        inject_free = self._inject_free
+        inj_slot = now * bw
+        prev = inject_free.get(src, 0)
+        if prev > inj_slot:
+            inj_slot = prev
+        inject_free[src] = inj_slot + 1
+        hops = self._hop_table[src][dst]
+        arrive = inj_slot // bw + hops * self.hop_latency + self.router_latency
+        eject_free = self._eject_free
+        ej_slot = arrive * bw
+        prev = eject_free.get(dst, 0)
+        if prev > ej_slot:
+            ej_slot = prev
+        eject_free[dst] = ej_slot + 1
         delivery = ej_slot // bw + 1
         self.messages_sent += 1
         self.total_hops += hops
         self.total_latency += delivery - now
-        handler = self._handlers[msg.dst]
-        self.engine.schedule(delivery - now, lambda m=msg, h=handler: h(m))
+        engine.schedule(delivery - now, lambda m=msg, h=handler: h(m))
         return delivery
 
     # ------------------------------------------------------------------
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise ValueError("node %d out of range (mesh has %d)" % (node, self.num_nodes))
-
-    def stats(self) -> dict[str, float]:
-        sent = max(1, self.messages_sent)
-        return {
-            "messages": self.messages_sent,
-            "avg_hops": self.total_hops / sent,
-            "avg_latency": self.total_latency / sent,
-        }

@@ -31,6 +31,10 @@ class MsgType(enum.Enum):
     DATA = "data"                # data response
     ACK = "ack"                  # write-through / writeback / own ack
 
+    # Members are singletons; identity hashing is exact and C-speed (the
+    # L2-request dispatch set is probed once per delivered message).
+    __hash__ = object.__hash__
+
 
 _request_ids = itertools.count()
 

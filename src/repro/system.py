@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.attribution import Inspector
 from repro.core.breakdown import StallBreakdown
+from repro.core.component import Component, StatsSnapshot
 from repro.cpu.core import CpuCore
 from repro.gpu.kernel import Kernel
 from repro.gpu.sm import SM
@@ -49,6 +50,9 @@ class SimResult:
     stats: dict[str, dict] = field(default_factory=dict)
     #: windowed stall timeline (None unless config.timeline_window is set)
     timeline: object = None
+    #: full hierarchical StatsSnapshot of the component tree.  In-process
+    #: profiling aid like ``timeline``: not serialized into artifacts.
+    stats_tree: object = None
 
     @property
     def ipc(self) -> float:
@@ -86,12 +90,20 @@ class SimResult:
         )
 
 
-class System:
-    """A fully built simulated system ready to run one kernel."""
+class System(Component):
+    """A fully built simulated system ready to run one kernel.
+
+    Also the root of the component tree: ``system.stats()`` snapshots every
+    statistic in the machine (``system.sm3.l1.mshr.merges`` and friends),
+    and :meth:`collect_stats` derives the frozen artifact schema carried by
+    :class:`SimResult` from that same tree.
+    """
 
     def __init__(self, config: SystemConfig) -> None:
+        Component.__init__(self, "system")
         self.config = config
         self.engine = Engine()
+        self.add_child(self.engine)
         self.mesh = Mesh(
             self.engine,
             config.mesh_rows,
@@ -100,9 +112,12 @@ class System:
             router_latency=config.router_latency,
             endpoint_bw=config.mesh_endpoint_bw,
         )
+        self.add_child(self.mesh)
         self.memory = GlobalMemory()
         self.dram = Dram(latency=config.dram_latency, channels=config.dram_channels)
+        self.add_child(self.dram)
         self.l2 = L2Cache(config, self.mesh, self.memory, self.dram)
+        self.add_child(self.l2)
         self.inspector = Inspector(
             config.num_sms,
             enabled=config.gsi_enabled,
@@ -154,6 +169,7 @@ class System:
                 stash=stash,
             )
             self.sms.append(sm)
+            self.add_child(sm)
 
         self.cpus: list[CpuCore] = []
         for cpu_id, node in enumerate(self.cpu_nodes):
@@ -161,7 +177,9 @@ class System:
                 node, config, self.mesh, self.l2.node_of_line, cpu_protocol, self.memory
             )
             self._l1_by_node[node] = l1
-            self.cpus.append(CpuCore(cpu_id, node, l1))
+            cpu = CpuCore(cpu_id, node, l1)
+            self.cpus.append(cpu)
+            self.add_child(cpu)
 
         for node in range(config.num_nodes):
             self.mesh.attach(node, self._make_dispatcher(node))
@@ -224,6 +242,7 @@ class System:
             instructions=sum(sm.instructions_issued for sm in self.sms),
             stats=self.collect_stats(),
             timeline=self.inspector.aggregate_timeline(),
+            stats_tree=self.stats(),
         )
 
     # ------------------------------------------------------------------
@@ -263,26 +282,70 @@ class System:
 
     # ------------------------------------------------------------------
     def collect_stats(self) -> dict[str, dict]:
-        stats = {
-            "mesh": self.mesh.stats(),
-            "l2": self.l2.stats(),
-            "dram": {"accesses": self.dram.accesses},
-            "l1": {
-                "sm%d" % sm.sm_id: sm.l1.stats() for sm in self.sms
-            },
-            "engine": {"events": self.engine.events_processed},
+        """Legacy artifact schema, derived from the generic stats tree.
+
+        :class:`SimResult` carries (and serializes) this flat shape, which
+        is frozen so cached/regenerated artifacts stay byte-identical; the
+        full hierarchical snapshot is available via ``System.stats()`` and
+        rides along on in-process results as ``SimResult.stats_tree``.
+        """
+        snap = self.stats()
+        return legacy_stats_view(snap, [sm.name for sm in self.sms])
+
+
+def legacy_stats_view(
+    snap: StatsSnapshot, sm_names: "list[str] | None" = None
+) -> dict[str, dict]:
+    """Project a ``system`` stats snapshot onto the flat legacy schema."""
+    if sm_names is None:
+        sm_names = sorted(
+            (n for n in snap.children if n.startswith("sm")),
+            key=lambda n: int(n[2:]),
+        )
+    mesh = snap["mesh"]
+    l2 = snap["l2"]
+    stats: dict[str, dict] = {
+        "mesh": {k: mesh[k] for k in ("messages", "avg_hops", "avg_latency")},
+        "l2": {
+            k: l2[k]
+            for k in (
+                "loads",
+                "stores",
+                "atomics",
+                "remote_forwards",
+                "ownership_grants",
+                "ownership_recalls",
+                "dram_fills",
+            )
+        },
+        "dram": {"accesses": snap["dram.accesses"]},
+        "l1": {},
+        "engine": {"events": snap["engine.events"]},
+    }
+    scratch: dict[str, dict] = {}
+    for name in sm_names:
+        l1 = snap["%s.l1" % name]
+        stats["l1"][name] = {
+            "load_hits": l1["load_hits"],
+            "load_misses": l1["load_misses"],
+            "stores": l1["stores"],
+            "local_store_hits": l1["local_store_hits"],
+            "acquires": l1["acquires"],
+            "releases": l1["releases"],
+            "self_invalidated_lines": l1["self_invalidated_lines"],
+            "remote_serves": l1["remote_serves"],
+            "mshr_merges": l1["mshr.merges"],
+            "sb_combines": l1["store_buffer.combines"],
         }
-        scratch = {
-            "sm%d" % sm.sm_id: {
-                "accesses": sm.scratchpad.accesses,
-                "conflict_cycles": sm.scratchpad.conflict_cycles,
+        pad = snap[name].children.get("scratchpad")
+        if pad is not None:
+            scratch[name] = {
+                "accesses": pad["accesses"],
+                "conflict_cycles": pad["conflict_cycles"],
             }
-            for sm in self.sms
-            if sm.scratchpad is not None
-        }
-        if scratch:
-            stats["scratchpad"] = scratch
-        return stats
+    if scratch:
+        stats["scratchpad"] = scratch
+    return stats
 
 
 def run_workload(config: SystemConfig, workload) -> SimResult:

@@ -1,0 +1,264 @@
+"""Component/Stats substrate: tree wiring, snapshots, resets, exports.
+
+Covers the contracts the rest of the simulator leans on:
+
+* int-like :class:`StatCounter` semantics (the refactor's compatibility
+  story: ``self.hits += 1`` must behave exactly like the bare int it
+  replaced);
+* ``stats()`` snapshot / ``reset_stats()`` round-trips;
+* CSV/JSON export equivalence with the legacy per-attribute report path
+  (``SimResult.stats`` must be a faithful projection of the tree).
+"""
+
+import json
+
+import pytest
+
+from repro.core.component import (
+    Component,
+    StatCounter,
+    StatHistogram,
+    StatsSnapshot,
+)
+from repro.sim.config import LocalMemory, SystemConfig
+from repro.system import System, legacy_stats_view, run_workload
+from repro.workloads import make_workload
+
+
+class TestStatCounter:
+    def test_int_like_arithmetic_and_comparisons(self):
+        c = StatCounter("c")
+        c += 3
+        c += 2
+        c -= 1
+        assert c == 4
+        assert c != 5
+        assert c < 5 and c <= 4 and c > 3 and c >= 4
+        assert c + 1 == 5 and 1 + c == 5
+        assert c - 1 == 3 and 10 - c == 6
+        assert c * 2 == 8 and c / 2 == 2.0
+        assert c // 3 == 1 and c % 3 == 1
+        assert int(c) == 4 and float(c) == 4.0
+        assert "%d" % c == "4"
+        assert max(1, c) == 4
+
+    def test_inplace_ops_preserve_identity(self):
+        c = StatCounter("c")
+        before = id(c)
+        c += 10
+        assert id(c) == before  # attribute rebinding must be a no-op
+
+    def test_maximize_and_reset(self):
+        c = StatCounter("peak")
+        c.maximize(7)
+        c.maximize(3)
+        assert c == 7
+        c.reset()
+        assert c == 0
+
+    def test_truthiness(self):
+        c = StatCounter("c")
+        assert not c
+        c += 1
+        assert c
+
+
+class TestStatHistogram:
+    def test_observe_and_snapshot_sorted(self):
+        h = StatHistogram("occ")
+        for v in (3, 1, 3, 2):
+            h.observe(v)
+        assert h.snapshot() == {"1": 1, "2": 1, "3": 2}
+        assert h.total == 4
+        h.reset()
+        assert h.snapshot() == {}
+
+
+class TestComponentTree:
+    def make_tree(self):
+        root = Component("root")
+        child = Component("child", parent=root)
+        grand = Component("grand", parent=child)
+        root.stat_counter("a")
+        child.stat_counter("b")
+        grand.stat_counter("c")
+        return root, child, grand
+
+    def test_paths_and_find(self):
+        root, child, grand = self.make_tree()
+        assert grand.path() == "root.child.grand"
+        assert root.find("child.grand") is grand
+        with pytest.raises(KeyError):
+            root.find("child.missing")
+
+    def test_duplicate_child_name_rejected(self):
+        root = Component("root")
+        Component("x", parent=root)
+        with pytest.raises(ValueError):
+            Component("x", parent=root)
+
+    def test_reparent_with_rename_unlinks_old_slot(self):
+        p1, p2 = Component("p1"), Component("p2")
+        c = Component("x", parent=p1)
+        p2.add_child(c, name="y")
+        assert c.parent is p2 and c.path() == "p2.y"
+        assert p1.children == {}  # no stale 'x' entry double-counting c
+        assert p2.find("y") is c
+
+    def test_engine_inherited_from_ancestors(self):
+        root, child, grand = self.make_tree()
+        sentinel = object()
+        root.engine = sentinel
+        assert grand.engine is None  # plain attribute: unset until resolved
+        assert grand.find_engine() is sentinel
+        assert grand.engine is sentinel  # cached after first resolution
+
+    def test_snapshot_navigation(self):
+        root, child, grand = self.make_tree()
+        child.stat_counter("b").add(5)
+        snap = root.stats()
+        assert snap["child.b"] == 5
+        assert snap["child"]["grand"].values == {"c": 0}
+        assert snap.get("child.nope") is None
+        with pytest.raises(KeyError):
+            snap["child.nope.deeper"]
+
+    def test_reset_recurses_and_zeroes(self):
+        root, child, grand = self.make_tree()
+        root.stat_counter("a").add(1)
+        grand.stat_counter("c").add(9)
+        root.reset_stats()
+        flat = root.stats().flatten()
+        assert all(v == 0 for v in flat.values())
+
+    def test_snapshot_dict_round_trip(self):
+        root, child, grand = self.make_tree()
+        child.stat_counter("b").add(2)
+        grand.stat_histogram("h").observe(4)
+        snap = root.stats()
+        data = json.loads(json.dumps(snap.to_dict()))  # must be JSON-clean
+        back = StatsSnapshot.from_dict("root", data)
+        assert back.flatten() == snap.flatten()
+
+    def test_csv_export_shape(self):
+        root, child, grand = self.make_tree()
+        grand.stat_counter("c").add(3)
+        csv = root.stats().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "path,stat,value"
+        assert "root.child.grand,c,3" in lines
+
+
+class TestSystemTree:
+    """The assembled simulator as one component tree."""
+
+    def run_small(self, **cfg_overrides):
+        wl = make_workload("streaming", num_tbs=2, warps_per_tb=2)
+        cfg = SystemConfig(num_sms=2, **cfg_overrides)
+        cfg = wl.configure(cfg) if hasattr(wl, "configure") else cfg
+        system = System(cfg)
+        result = system.run(wl)
+        return system, result
+
+    def test_tree_shape(self):
+        system, _ = self.run_small()
+        names = {c.path() for c in system.iter_components()}
+        for expected in (
+            "system.engine",
+            "system.mesh",
+            "system.dram",
+            "system.l2.bank0",
+            "system.sm0.l1.mshr",
+            "system.sm0.l1.store_buffer",
+            "system.sm0.l1.cache",
+            "system.sm0.lsu",
+            "system.sm0.compute_units",
+            "system.cpu0.l1",
+        ):
+            assert expected in names, expected
+
+    def test_legacy_stats_equivalence(self):
+        """SimResult.stats (the frozen artifact schema, consumed by the
+        report/energy paths) must equal the projection of the stats tree."""
+        system, result = self.run_small()
+        assert result.stats == legacy_stats_view(system.stats())
+        # and must survive a JSON round-trip bit-identically
+        assert json.loads(json.dumps(result.stats)) == result.stats
+
+    def test_legacy_stats_equivalence_with_scratchpad(self):
+        wl = make_workload("implicit_scratchpad", num_tbs=2, warps_per_tb=2)
+        cfg = wl.configure(SystemConfig())
+        system = System(cfg)
+        result = system.run(wl)
+        assert "scratchpad" in result.stats
+        assert result.stats == legacy_stats_view(system.stats())
+
+    def test_stats_tree_rides_on_result(self):
+        system, result = self.run_small()
+        assert result.stats_tree["engine.cycles"] > 0
+        assert result.stats_tree["engine.events"] == result.stats["engine"]["events"]
+        # not part of the serialized artifact (cache byte-identity)
+        assert "stats_tree" not in result.to_dict()
+
+    def test_engine_stats_group(self):
+        _, result = self.run_small()
+        engine = result.stats_tree["engine"]
+        assert engine["cycles"] > 0
+        assert engine["events"] > 0
+        assert engine["wakeups"] > 0
+
+    def test_reset_zeroes_every_counter(self):
+        """reset_stats() zeroes all run statistics; live-state gauges
+        (cache occupancy) legitimately survive, counters must not."""
+        wl = make_workload("streaming", num_tbs=2, warps_per_tb=2)
+        cfg = wl.configure(SystemConfig(num_sms=2))
+        system = System(cfg)
+        system.run(wl)
+        system.reset_stats()
+        flat = system.stats().flatten()
+        leftovers = {
+            k: v
+            for k, v in flat.items()
+            if v != 0 and not k.endswith(".occupancy")
+        }
+        assert leftovers == {}, leftovers
+
+    def test_one_line_counter_recipe(self):
+        """The README recipe: declaring a counter is one line, and it shows
+        up in every export path without further plumbing."""
+        system, _ = self.run_small()
+        sm0 = system.find("sm0")
+        demo = sm0.stat_counter("demo_metric")
+        demo += 42
+        snap = system.stats()
+        assert snap["sm0.demo_metric"] == 42
+        assert snap.flatten()["system.sm0.demo_metric"] == 42
+        assert "system.sm0,demo_metric,42" in snap.to_csv()
+
+
+class TestReportExportEquivalence:
+    """CSV/JSON exports of the tree agree with the legacy report path."""
+
+    def test_result_json_stats_match_tree(self):
+        wl = make_workload("streaming", num_tbs=2, warps_per_tb=2)
+        cfg = wl.configure(SystemConfig(num_sms=2))
+        result = run_workload(cfg, wl)
+        payload = json.loads(json.dumps(result.to_dict(), sort_keys=True))
+        tree = result.stats_tree
+        l1 = payload["stats"]["l1"]["sm0"]
+        assert l1["load_hits"] == tree["sm0.l1.load_hits"]
+        assert l1["mshr_merges"] == tree["sm0.l1.mshr.merges"]
+        assert l1["sb_combines"] == tree["sm0.l1.store_buffer.combines"]
+        assert payload["stats"]["l2"]["loads"] == tree["l2.loads"]
+        assert payload["stats"]["dram"]["accesses"] == tree["dram.accesses"]
+        assert payload["stats"]["mesh"]["messages"] == tree["mesh.messages"]
+
+    def test_format_stats_tree_renders_every_path(self):
+        from repro.core.report import format_stats_tree
+
+        wl = make_workload("streaming", num_tbs=2, warps_per_tb=2)
+        cfg = wl.configure(SystemConfig(num_sms=2))
+        result = run_workload(cfg, wl)
+        text = format_stats_tree(result.stats_tree)
+        for fragment in ("system:", "mshr:", "store_buffer:", "avg_hops"):
+            assert fragment in text

@@ -152,3 +152,88 @@ def test_activate_unregistered_id_rejected():
     engine = Engine()
     with pytest.raises(KeyError):
         engine.activate(99)
+
+
+def test_tick_order_is_ascending_tid_after_churn():
+    """The incrementally maintained active order must stay ascending-tid
+    deterministic through arbitrary activate/deactivate churn."""
+    engine = Engine()
+    log = []
+
+    class T:
+        def __init__(self):
+            self.tid = engine.register(self)
+
+        def tick(self):
+            log.append(self.tid)
+            engine.deactivate(self.tid)
+
+    ts = [T() for _ in range(5)]
+    # activate out of order, deactivate some, re-activate
+    for t in (ts[3], ts[0], ts[4], ts[1], ts[2]):
+        engine.activate(t.tid)
+    engine.deactivate(ts[4].tid)
+    engine.activate(ts[4].tid)
+    engine.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_mid_cycle_activation_ticks_next_cycle():
+    """A peer activated during the tick phase must not tick until the next
+    cycle, even if it was active earlier and has a smaller tid."""
+    engine = Engine()
+    log = []
+
+    class A:
+        def __init__(self):
+            self.tid = engine.register(self)
+
+        def tick(self):
+            log.append(("a", engine.now))
+            engine.deactivate(self.tid)
+
+    class B:
+        def __init__(self, peer):
+            self.tid = engine.register(self)
+            self.peer = peer
+
+        def tick(self):
+            log.append(("b", engine.now))
+            engine.activate(self.peer.tid)  # mid-cycle wake of a lower tid
+            engine.deactivate(self.tid)
+
+    a = A()
+    b = B(a)
+    # a was active once before, so a stale order entry exists
+    engine.activate(a.tid)
+    engine.run()
+    assert log[0] == ("a", 0)
+    engine.activate(b.tid)
+    log.clear()
+    engine.run()
+    # b ticks alone in its cycle; a only ticks the following cycle
+    assert log == [("b", 1), ("a", 2)]
+
+
+def test_activation_idempotent_and_wakeups_counted():
+    engine = Engine()
+    c = Counter(engine, stop_after=2)
+    engine.activate(c.tid)
+    engine.activate(c.tid)  # double activation is a no-op
+    assert engine.wakeups == 1
+    engine.run()
+    assert c.ticks == 2
+
+
+def test_engine_stats_group():
+    engine = Engine()
+    c = Counter(engine, stop_after=4)
+    c.start()
+    engine.schedule(2, lambda: None)
+    engine.run()
+    snap = engine.stats()
+    assert snap["cycles"] == 4
+    assert snap["events"] == engine.events_processed == 1
+    assert snap["wakeups"] == 1
+    engine.reset_stats()
+    assert engine.stats()["cycles"] == 0

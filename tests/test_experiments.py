@@ -64,9 +64,18 @@ class TestFig64Small:
 class TestOverhead:
     def test_overhead_stats_shape(self):
         stats = figures.overhead_experiment(repeats=1)
-        assert set(stats) == {"with_gsi_s", "without_gsi_s", "overhead_pct"}
+        assert set(stats) == {
+            "with_gsi_s",
+            "without_gsi_s",
+            "overhead_pct",
+            "cycles_per_sec",
+            "engine_events",
+            "engine_wakeups",
+        }
         assert stats["with_gsi_s"] > 0
         assert stats["without_gsi_s"] > 0
+        assert stats["cycles_per_sec"] > 0
+        assert stats["engine_events"] > 0
 
 
 class TestRunner:
