@@ -126,7 +126,7 @@ def test_engine_sleep_wake_churn_throughput(benchmark):
     per cycle -- never more than the old per-cycle sort paid)."""
 
     class Toggler:
-        def __init__(self, engine, peer_tid=None):
+        def __init__(self, engine):
             self.engine = engine
             self.tid = None
             self.ticks = 0

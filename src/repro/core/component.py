@@ -213,7 +213,11 @@ class StatsSnapshot:
             return default
 
     def __contains__(self, key: str) -> bool:
-        return self.get(key) is not None
+        try:
+            self[key]
+        except KeyError:
+            return False
+        return True
 
     # export ------------------------------------------------------------
     def to_dict(self) -> dict:

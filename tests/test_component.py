@@ -123,6 +123,14 @@ class TestComponentTree:
         with pytest.raises(KeyError):
             snap["child.nope.deeper"]
 
+    def test_membership_sees_none_valued_derived_stat(self):
+        root, child, grand = self.make_tree()
+        child.stat_derived("maybe", lambda: None)  # "no data this run"
+        snap = root.stats()
+        assert "child.maybe" in snap
+        assert snap["child.maybe"] is None
+        assert "child.nope" not in snap
+
     def test_reset_recurses_and_zeroes(self):
         root, child, grand = self.make_tree()
         root.stat_counter("a").add(1)
