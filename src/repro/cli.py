@@ -1,10 +1,15 @@
-"""Command-line interface: run any bundled workload under GSI.
+"""Command-line interface: run, sweep, record and replay workloads under GSI.
 
 Examples::
 
     python -m repro run uts --protocol denovo --nodes 100
     python -m repro run implicit_stash --mshr 256
     python -m repro run utsd --timeline 512 --energy
+    python -m repro sweep my_sweep.json --jobs 4 --format json --cache .sim-cache
+    python -m repro trace record uts --nodes 100 -o uts.gsitrace
+    python -m repro trace replay uts.gsitrace --verify
+    python -m repro trace replay uts.gsitrace --mshr 8 --store-buffer 8
+    python -m repro trace info uts.gsitrace
     python -m repro list
     python -m repro table51
 """
@@ -37,6 +42,11 @@ def _by_name(registry_name: str, **arg_map) -> Callable:
         }
         return make_workload(registry_name, **kwargs)
 
+    # the exact kwargs the factory consumes -- trace provenance records
+    # these, not the full CLI namespace (most workloads ignore --nodes)
+    make.provenance = lambda args: {
+        kwarg: getattr(args, cli_attr) for kwarg, cli_attr in arg_map.items()
+    }
     return make
 
 
@@ -44,6 +54,7 @@ def _implicit(registry_name: str) -> Callable:
     def make(args):
         return make_workload(registry_name, warps_per_tb=args.warps or 8)
 
+    make.provenance = lambda args: {"warps_per_tb": args.warps or 8}
     return make
 
 
@@ -58,6 +69,35 @@ WORKLOADS: dict[str, Callable] = {
     "reduction": _by_name("reduction", warps_per_tb="warps"),
     "streaming": _by_name("streaming", warps_per_tb="warps"),
 }
+
+
+def _add_sim_options(parser: argparse.ArgumentParser) -> None:
+    """Workload + configuration options shared by ``run`` and
+    ``trace record`` (both build a workload and an execution config)."""
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("--protocol", choices=["gpu", "denovo"], default="gpu")
+    parser.add_argument("--sms", type=int, default=None, help="override SM count")
+    parser.add_argument("--nodes", type=int, default=80, help="tree/graph size")
+    parser.add_argument("--warps", type=int, default=2,
+                        help="warps per thread block")
+    parser.add_argument("--mshr", type=int, default=32)
+    parser.add_argument("--store-buffer", type=int, default=None)
+    parser.add_argument("--scheduler", choices=["lrr", "gto"], default="lrr")
+    parser.add_argument("--seed", type=int, default=2016)
+
+
+def _config_from_args(args, timeline: "int | None" = None) -> SystemConfig:
+    config = SystemConfig(
+        protocol=Protocol.DENOVO if args.protocol == "denovo" else Protocol.GPU_COHERENCE,
+        mshr_entries=args.mshr,
+        store_buffer_entries=args.store_buffer or args.mshr,
+        warp_scheduler=args.scheduler,
+        timeline_window=timeline,
+        seed=args.seed,
+    )
+    if args.sms is not None:
+        config = config.scaled(num_sms=args.sms)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,35 +123,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on-disk scenario result cache")
 
     run = sub.add_parser("run", help="run one workload and print the breakdown")
-    run.add_argument("workload", choices=sorted(WORKLOADS))
-    run.add_argument("--protocol", choices=["gpu", "denovo"], default="gpu")
-    run.add_argument("--sms", type=int, default=None, help="override SM count")
-    run.add_argument("--nodes", type=int, default=80, help="tree/graph size")
-    run.add_argument("--warps", type=int, default=2, help="warps per thread block")
-    run.add_argument("--mshr", type=int, default=32)
-    run.add_argument("--store-buffer", type=int, default=None)
-    run.add_argument("--scheduler", choices=["lrr", "gto"], default="lrr")
+    _add_sim_options(run)
     run.add_argument("--timeline", type=int, default=None, metavar="CYCLES",
                      help="enable windowed timelines with this bucket size")
     run.add_argument("--energy", action="store_true", help="print energy report")
     run.add_argument("--stats", action="store_true",
                      help="print the full component stats tree")
     run.add_argument("--per-sm", action="store_true", help="per-SM breakdowns")
-    run.add_argument("--seed", type=int, default=2016)
+
+    trace = sub.add_parser(
+        "trace", help="record a workload's memory trace / replay one"
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = tsub.add_parser(
+        "record", help="run a workload execution-driven and capture its trace"
+    )
+    _add_sim_options(record)
+    record.add_argument("-o", "--out", required=True, metavar="FILE",
+                        help="trace output file (conventionally *.gsitrace)")
+
+    replay = tsub.add_parser(
+        "replay", help="re-inject a recorded trace into the memory hierarchy"
+    )
+    replay.add_argument("file", help="trace file written by 'trace record'")
+    replay.add_argument("--mshr", type=int, default=None,
+                        help="override MSHR entries for this replay")
+    replay.add_argument("--store-buffer", type=int, default=None,
+                        help="override store-buffer entries")
+    replay.add_argument("--protocol", choices=["gpu", "denovo"], default=None,
+                        help="override the coherence protocol")
+    replay.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
+                        dest="overrides",
+                        help="override any SystemConfig field (repeatable)")
+    replay.add_argument("--verify", action="store_true",
+                        help="check the replayed memory-side stats against "
+                             "the stats recorded in the trace (requires an "
+                             "unmodified configuration); exit 1 on mismatch")
+    replay.add_argument("--stats", action="store_true",
+                        help="print the full component stats tree")
+    replay.add_argument("--per-sm", action="store_true", help="per-SM breakdowns")
+
+    info = tsub.add_parser("info", help="print a trace file's provenance")
+    info.add_argument("file")
     return parser
 
 
 def cmd_run(args) -> int:
-    config = SystemConfig(
-        protocol=Protocol.DENOVO if args.protocol == "denovo" else Protocol.GPU_COHERENCE,
-        mshr_entries=args.mshr,
-        store_buffer_entries=args.store_buffer or args.mshr,
-        warp_scheduler=args.scheduler,
-        timeline_window=args.timeline,
-        seed=args.seed,
-    )
-    if args.sms is not None:
-        config = config.scaled(num_sms=args.sms)
+    config = _config_from_args(args, timeline=args.timeline)
     workload = WORKLOADS[args.workload](args)
     result = run_workload(config, workload)
     print(result.summary())
@@ -185,6 +244,120 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_override(text: str):
+    """``field=value`` -> (field, value), with JSON-style value coercion."""
+    import json
+
+    if "=" not in text:
+        raise ValueError("override %r is not of the form FIELD=VALUE" % text)
+    field, raw = text.split("=", 1)
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw  # bare strings (e.g. protocol=denovo)
+    return field.strip(), value
+
+
+def cmd_trace(args) -> int:
+    from repro.trace import (
+        TraceFormatError,
+        compare_memory_stats,
+        compare_recorded_breakdown,
+        load_trace,
+        memory_side_stats,
+        record_workload,
+        replay_trace,
+        save_trace,
+    )
+
+    if args.trace_command == "record":
+        config = _config_from_args(args)
+        factory = WORKLOADS[args.workload]
+        workload = factory(args)
+        try:
+            result, trace = record_workload(
+                config,
+                workload,
+                name=args.workload,
+                workload_args=factory.provenance(args),
+            )
+            sha = save_trace(trace, args.out)
+        except (OSError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(result.summary())
+        print("execution: %d cycles, %d instructions, IPC %.3f" % (
+            result.cycles, result.instructions, result.ipc))
+        print("trace: %s (%d events, %d SM streams, sha256 %s...)"
+              % (args.out, trace.num_events, trace.num_sms, sha[:12]))
+        return 0
+
+    try:
+        trace = load_trace(args.file)
+    except TraceFormatError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    if args.trace_command == "info":
+        print("trace %s" % args.file)
+        for label, value in trace.summary_rows():
+            print("  %-22s %s" % (label, value))
+        return 0
+
+    # replay
+    overrides = {}
+    if args.mshr is not None:
+        overrides["mshr_entries"] = args.mshr
+    if args.store_buffer is not None:
+        overrides["store_buffer_entries"] = args.store_buffer
+    if args.protocol is not None:
+        overrides["protocol"] = args.protocol
+    for text in args.overrides:
+        try:
+            field, value = _parse_override(text)
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        overrides[field] = value
+    if args.verify and overrides:
+        print("error: --verify compares against the recorded configuration; "
+              "drop the overrides", file=sys.stderr)
+        return 2
+    try:
+        result = replay_trace(trace, overrides=overrides or None)
+    except (ValueError, RuntimeError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(result.summary())
+    print("replay: %d cycles (recorded execution: %d)%s" % (
+        result.cycles, trace.cycles,
+        "  overrides: %s" % overrides if overrides else ""))
+    print()
+    print(format_table({result.workload: result.breakdown}))
+    if args.per_sm:
+        named = {"sm%d" % i: bd for i, bd in enumerate(result.per_sm)}
+        print(format_table(named, baseline="sm0", title="per-SM breakdown"))
+    if args.stats:
+        print(format_stats_tree(result.stats_tree))
+    if args.verify:
+        mismatches = compare_memory_stats(
+            trace.recorded_stats, memory_side_stats(result.stats)
+        )
+        mismatches += compare_recorded_breakdown(trace, result)
+        if trace.cycles != result.cycles:
+            mismatches.append(
+                "cycles: recorded %d != replayed %d" % (trace.cycles, result.cycles)
+            )
+        if mismatches:
+            print("verify FAILED: %d mismatch(es)" % len(mismatches), file=sys.stderr)
+            for line in mismatches:
+                print("  " + line, file=sys.stderr)
+            return 1
+        print("verify OK: replayed memory-side stats and stall attribution "
+              "match the recording exactly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -198,6 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     return cmd_run(args)
 
 

@@ -27,6 +27,9 @@ class SmAttribution:
         self._pending_mem: dict[int, int] = {}
         self._resolved: dict[int, ServiceLocation] = {}
         self.unresolved_drained = 0
+        #: optional span observer ``(stall, detail, n, at)`` -- the trace
+        #: recorder copies memory stall spans through this.
+        self.tap = None
 
     # ------------------------------------------------------------------
     def record(
@@ -42,6 +45,8 @@ class SmAttribution:
         the :class:`MemStructCause` for memory structural stalls.  ``at`` is
         the first cycle of the attributed span (used by timelines).
         """
+        if self.tap is not None:
+            self.tap(stall, detail, n, at)
         self.breakdown.add(stall, n)
         if self.timeline is not None and at is not None:
             self.timeline.record(stall, at, n)

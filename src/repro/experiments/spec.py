@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.sim.config import SystemConfig
-from repro.workloads import make_workload
+from repro.workloads import make_workload, workload_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system import SimResult
@@ -48,7 +48,14 @@ class Scenario:
         return base.scaled(**self.config) if self.config else base
 
     def build_workload(self):
-        return make_workload(self.workload, **self.workload_args)
+        workload = make_workload(self.workload, **self.workload_args)
+        # Workloads anchored to their own base configuration (trace
+        # replays) need the *explicit* overrides, not the merged config
+        # build_config() produces -- hand the raw block over.
+        accept = getattr(workload, "accept_config_overrides", None)
+        if accept is not None and self.config:
+            accept(dict(self.config))
+        return workload
 
     def validate(self) -> None:
         """Fail fast on unknown workloads, workload kwargs, or config
@@ -69,16 +76,21 @@ class Scenario:
 
     # --- identity -------------------------------------------------------
     def key(self) -> str:
-        """Stable hash of the *simulation inputs* (name/expect excluded)."""
-        payload = json.dumps(
-            {
-                "workload": self.workload,
-                "workload_args": self.workload_args,
-                "config": self.config,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        """Stable hash of the *simulation inputs* (name/expect excluded).
+
+        Workloads backed by external files (trace replays) contribute a
+        content fingerprint, so re-recording a trace at the same path
+        invalidates cached results.
+        """
+        inputs = {
+            "workload": self.workload,
+            "workload_args": self.workload_args,
+            "config": self.config,
+        }
+        fingerprint = workload_fingerprint(self.workload, self.workload_args)
+        if fingerprint is not None:
+            inputs["fingerprint"] = fingerprint
+        payload = json.dumps(inputs, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     # --- serialization --------------------------------------------------

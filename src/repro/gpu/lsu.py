@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mem.stash import Stash
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessGroup:
     """All outstanding lines of one warp memory instruction."""
 
@@ -73,6 +73,11 @@ class Lsu(Component):
         self.stash = stash
         self.busy_until = 0
         self.release_active = False
+        #: trace capture point at the LSU->L1 boundary: when a
+        #: :class:`repro.trace.record.SmTraceSink` is installed here, the
+        #: SM's issue stage reports every accepted memory instruction
+        #: (coalesced lines, access-group tag, sync semantics) to it.
+        self.trace_sink = None
         # statistics: per-cause rejection counts stay a plain dict on the
         # hot rejection path; the stats tree sees them as one derived map.
         self.accepted = self.stat_counter("accepted")

@@ -301,6 +301,9 @@ class SM(Component):
         degree = self.lsu.l1_bank_conflict_degree(lines)
         self.lsu.occupy(now, degree - 1)
         group = AccessGroup(tag=_next_tag(), remaining=len(lines))
+        sink = self.lsu.trace_sink
+        if sink is not None:
+            sink.load(now, warp.ctx.warp_id, group.tag, lines)
         if instr.dst is not None:
             warp.scoreboard.set_memory(instr.dst, group.tag)
         if instr.returns_value:
@@ -321,6 +324,11 @@ class SM(Component):
     ) -> None:
         if not group.line_done(loc):
             return
+        sink = self.lsu.trace_sink
+        if sink is not None:
+            # Scope everything this completion triggers (dependence front,
+            # possibly the end-of-kernel teardown) to the group's tag.
+            sink.enter_completion(group.tag, warp.ctx.warp_id)
         self.wake()
         final = group.final_loc or loc
         if self.attr is not None:
@@ -333,6 +341,8 @@ class SM(Component):
         ):
             value = self._read_value(instr)
             self._advance(warp, value)
+        if sink is not None:
+            sink.exit_completion()
 
     def _read_value(self, instr: Instruction) -> int:
         addr = instr.value_addr if instr.value_addr is not None else instr.addrs[0]
@@ -411,6 +421,9 @@ class SM(Component):
             lines = self.lsu.lines_of(instr)
             degree = self.lsu.l1_bank_conflict_degree(lines)
             self.lsu.occupy(now, degree - 1)
+            sink = self.lsu.trace_sink
+            if sink is not None:
+                sink.store(now, warp.ctx.warp_id, lines)
             for line in lines:
                 self.l1.store_line(line)
         elif instr.space is Space.SCRATCH:
@@ -450,6 +463,12 @@ class SM(Component):
         assert instr.atomic_fn is not None
         tag = _next_tag()
         kind = "sync" if (instr.acquire or instr.release) else "mem"
+        sink = self.lsu.trace_sink
+        if sink is not None:
+            sink.atomic(
+                now, warp.ctx.warp_id, tag, instr.addrs[0],
+                instr.acquire, instr.release,
+            )
         if instr.returns_value:
             warp.waiting_value = True
             warp.value_producer = (kind, tag)
@@ -486,6 +505,9 @@ class SM(Component):
     def _atomic_done(
         self, warp: Warp, instr: Instruction, tag: int, kind: str, value: int
     ) -> None:
+        sink = self.lsu.trace_sink
+        if sink is not None:
+            sink.enter_completion(tag, warp.ctx.warp_id)
         self.wake()
         if kind == "mem" and self.attr is not None:
             self.attr.resolve_mem(tag, ServiceLocation.L2)
@@ -493,6 +515,8 @@ class SM(Component):
             self.l1.acquire_invalidate()
         if instr.returns_value:
             self._advance(warp, value)
+        if sink is not None:
+            sink.exit_completion()
 
     # -- barriers -------------------------------------------------------------
     def _issue_barrier(self, warp: Warp, instr: Instruction, now: int) -> None:

@@ -20,6 +20,8 @@ cache (Section 6.1.1):
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
 from repro.mem.cache import LineState, SetAssocCache
@@ -53,8 +55,14 @@ class L2Cache(Component):
         for bank in self._banks:
             self.add_child(bank)
         self._bank_free = [0] * self.num_banks
+        #: home mesh node per bank, precomputed: ``node_of_line`` sits on
+        #: the request path of every L1 and response path of every bank.
+        self._bank_node = [b % mesh.num_nodes for b in range(self.num_banks)]
         #: line -> owning core's node id (DeNovo registration)
         self.owner: dict[int, int] = {}
+        #: observer for :meth:`warm_lines` (the trace recorder captures the
+        #: workload's pre-run warming so replay can reproduce it)
+        self.warm_tap = None
         # statistics
         self.loads = self.stat_counter("loads")
         self.stores = self.stat_counter("stores")
@@ -70,7 +78,7 @@ class L2Cache(Component):
 
     def node_of_line(self, line: int) -> int:
         """Mesh node hosting the home bank of ``line``."""
-        return self.bank_of(line) % self.mesh.num_nodes
+        return self._bank_node[line % self.num_banks]
 
     def _bank_service_delay(self, bank: int) -> int:
         """Serialize bank access (one request per bank per cycle).
@@ -97,15 +105,18 @@ class L2Cache(Component):
         The case-study arrays are initialized before the measured kernel
         runs; warming keeps the first measured access an L2 hit instead of
         a cold DRAM miss, as it would be on the paper's testbed."""
+        lines = list(lines)
+        if self.warm_tap is not None:
+            self.warm_tap(lines)
         for line in lines:
             self._fill(self.bank_of(line), line)
 
     # ------------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
         """Entry point for request messages delivered by the mesh."""
-        bank = self.bank_of(msg.line)
+        bank = msg.line % self.num_banks
         delay = self._bank_service_delay(bank)
-        self.engine.schedule(delay, lambda: self._service(msg, bank))
+        self.engine.schedule(delay, partial(self._service, msg, bank))
 
     def _service(self, msg: Message, bank: int) -> None:
         if msg.mtype is MsgType.GETS:
@@ -157,26 +168,24 @@ class L2Cache(Component):
             )
 
     def _respond_data(self, req: Message, loc: ServiceLocation, extra_delay: int) -> None:
-        home = self.node_of_line(req.line)
-
-        def _send() -> None:
-            self.mesh.send(
-                Message(
-                    mtype=MsgType.DATA,
-                    src=home,
-                    dst=req.src,
-                    line=req.line,
-                    req_id=req.req_id,
-                    service_loc=loc,
-                    bypass_l1=req.bypass_l1,
-                    meta=req.meta,
-                )
-            )
-
         if extra_delay > 0:
-            self.engine.schedule(extra_delay, _send)
+            self.engine.schedule(extra_delay, partial(self._send_data, req, loc))
         else:
-            _send()
+            self._send_data(req, loc)
+
+    def _send_data(self, req: Message, loc: ServiceLocation) -> None:
+        self.mesh.send(
+            Message(
+                mtype=MsgType.DATA,
+                src=self.node_of_line(req.line),
+                dst=req.src,
+                line=req.line,
+                req_id=req.req_id,
+                service_loc=loc,
+                bypass_l1=req.bypass_l1,
+                meta=req.meta,
+            )
+        )
 
     def _fill(self, bank: int, line: int) -> None:
         self._banks[bank].insert(line, LineState.VALID)
@@ -215,24 +224,10 @@ class L2Cache(Component):
             extra = self.mesh.hops(self.node_of_line(line), prev) * self.mesh.hop_latency
         self.owner[line] = msg.src
         self.ownership_grants.value += 1
-        home = self.node_of_line(line)
-
-        def _grant() -> None:
-            self.mesh.send(
-                Message(
-                    mtype=MsgType.ACK,
-                    src=home,
-                    dst=msg.src,
-                    line=line,
-                    req_id=msg.req_id,
-                    meta=msg.meta,
-                )
-            )
-
         if extra > 0:
-            self.engine.schedule(extra, _grant)
+            self.engine.schedule(extra, partial(self._ack, msg))
         else:
-            _grant()
+            self._ack(msg)
 
     def _recall(self, line: int) -> None:
         prev = self.owner.pop(line, None)
@@ -264,26 +259,27 @@ class L2Cache(Component):
 
         extra += self._data_array_delay  # atomics read-modify-write the data array
 
-        def _do_rmw() -> None:
-            _, result = self.memory.atomic_rmw(msg.word_addr, msg.atomic_fn)
-            self._fill(bank, line)
-            self.mesh.send(
-                Message(
-                    mtype=MsgType.DATA,
-                    src=self.node_of_line(line),
-                    dst=msg.src,
-                    line=line,
-                    req_id=msg.req_id,
-                    value=result,
-                    service_loc=ServiceLocation.L2,
-                    meta=msg.meta,
-                )
-            )
-
         if extra > 0:
-            self.engine.schedule(extra, _do_rmw)
+            self.engine.schedule(extra, partial(self._do_rmw, msg, bank))
         else:
-            _do_rmw()
+            self._do_rmw(msg, bank)
+
+    def _do_rmw(self, msg: Message, bank: int) -> None:
+        line = msg.line
+        _, result = self.memory.atomic_rmw(msg.word_addr, msg.atomic_fn)
+        self._fill(bank, line)
+        self.mesh.send(
+            Message(
+                mtype=MsgType.DATA,
+                src=self.node_of_line(line),
+                dst=msg.src,
+                line=line,
+                req_id=msg.req_id,
+                value=result,
+                service_loc=ServiceLocation.L2,
+                meta=msg.meta,
+            )
+        )
 
     def _service_wb_owned(self, msg: Message, bank: int) -> None:
         line = msg.line

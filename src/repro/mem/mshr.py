@@ -18,7 +18,7 @@ from typing import Any
 from repro.core.component import Component
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     line: int
     req_id: int

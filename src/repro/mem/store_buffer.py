@@ -32,7 +32,7 @@ class SbEntryState(enum.Enum):
     ISSUED = "issued"      # request in flight, waiting for the ack
 
 
-@dataclass
+@dataclass(slots=True)
 class SbEntry:
     line: int
     words: set[int] = field(default_factory=set)

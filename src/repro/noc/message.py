@@ -43,13 +43,17 @@ def next_request_id() -> int:
     return next(_request_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single network message.
 
     ``on_response`` is carried by requests so the servicing node can reply
     without a global table; ``service_loc`` is filled in by whoever supplies
     the data and drives memory-data stall sub-classification.
+
+    ``slots=True``: messages are the most-allocated objects in the
+    simulator (two per memory request); skipping the per-instance
+    ``__dict__`` measurably trims both execution and replay time.
     """
 
     mtype: MsgType

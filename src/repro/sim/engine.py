@@ -60,6 +60,10 @@ class Engine(Component):
         self._tickables: dict[int, Tickable] = {}
         self._next_tid: int = 0
         self._stopped: bool = False
+        #: True while the run loop is draining a cycle's event batch; lets
+        #: observers (the trace recorder) tell event-phase callbacks apart
+        #: from tick-phase calls without any per-cycle bookkeeping.
+        self._in_event_phase: bool = False
         # hot-loop statistics: plain ints (bumped millions of times), shown
         # in the stats tree as derived views so the loop pays nothing.
         self.events_processed: int = 0
@@ -121,6 +125,11 @@ class Engine(Component):
     def peek_next_event(self) -> int | None:
         return self._queue[0][0] if self._queue else None
 
+    @property
+    def in_event_phase(self) -> bool:
+        """Is an event-batch drain currently executing (vs. a tick)?"""
+        return self._in_event_phase
+
     def run(self, max_cycles: int = 10_000_000) -> int:
         """Run until :meth:`stop` is called, work runs out, or the cycle cap.
 
@@ -141,9 +150,11 @@ class Engine(Component):
                 now = self.now
                 if queue and queue[0][0] <= now:
                     # Batch-drain everything due this cycle before ticking.
+                    self._in_event_phase = True
                     while queue and queue[0][0] <= now:
                         events += 1
                         _heappop(queue)[2]()
+                    self._in_event_phase = False
                     if self._stopped:
                         break
                 if active:

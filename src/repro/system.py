@@ -186,6 +186,11 @@ class System(Component):
 
         self._teardown_started = False
         self._teardown_flushes = 0
+        #: trace capture (record mode): a
+        #: :class:`repro.trace.record.TraceRecorder` installs itself here
+        #: and into each SM's LSU; replay mode instead drives this system
+        #: through :class:`repro.trace.replay.TraceReplayer` injectors.
+        self.recorder = None
 
     # ------------------------------------------------------------------
     def _make_dispatcher(self, node: int):
@@ -251,6 +256,8 @@ class System(Component):
         end-of-kernel flush), drain DMA/stash, then stop the clock."""
         if self._teardown_started:
             return
+        if self.recorder is not None:
+            self.recorder.on_teardown(self.engine.now, self.engine.in_event_phase)
         self._teardown_started = True
         self._teardown_flushes = len(self.sms)
         for sm in self.sms:
@@ -349,7 +356,15 @@ def legacy_stats_view(
 
 
 def run_workload(config: SystemConfig, workload) -> SimResult:
-    """One-call convenience: configure, build, run."""
+    """One-call convenience: configure, build, run.
+
+    Workloads that carry their own runner (trace replays, which re-inject a
+    recorded stream instead of building a kernel) are dispatched to it; the
+    scenario executor and the CLI stay agnostic either way.
+    """
     config = workload.configure(config) if hasattr(workload, "configure") else config
+    runner = getattr(workload, "replay_run", None)
+    if runner is not None:
+        return runner(config)
     system = System(config)
     return system.run(workload)

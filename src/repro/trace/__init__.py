@@ -1,0 +1,81 @@
+"""Trace capture & replay: record a workload's memory reference stream
+once, replay memory-system sweeps over it many times.
+
+Typical flow::
+
+    from repro.sim.config import SystemConfig
+    from repro.trace import record_workload, replay_trace, save_trace, load_trace
+    from repro.workloads import make_workload
+
+    result, trace = record_workload(SystemConfig(), make_workload("uts"))
+    save_trace(trace, "uts.gsitrace")
+
+    # exact reproduction of the memory-side statistics:
+    replayed = replay_trace(load_trace("uts.gsitrace"))
+
+    # memory-system sweep without re-running the compute frontend:
+    small = replay_trace(trace, overrides={"mshr_entries": 8})
+
+The CLI front end is ``repro trace record|replay|info``, and the scenario
+layer reaches the same machinery through the registered ``"trace"``
+workload (see :mod:`repro.trace.workload`).
+"""
+
+from repro.trace.format import (
+    Trace,
+    TraceFormatError,
+    TRACE_SUFFIX,
+    file_fingerprint,
+    load_trace,
+    save_trace,
+)
+from repro.trace.record import (
+    TraceRecorder,
+    compare_memory_stats,
+    compare_recorded_breakdown,
+    compare_replay,
+    memory_breakdown_view,
+    memory_side_stats,
+)
+from repro.trace.replay import TraceReplayer, replay_trace
+from repro.trace.workload import TraceReplayWorkload
+
+
+def record_workload(config, workload, name=None, workload_args=None):
+    """Run ``workload`` execution-driven while recording its trace.
+
+    Returns ``(SimResult, Trace)``; the result is the ordinary
+    execution-driven outcome, the trace replays it.
+    """
+    from repro.system import System
+
+    if hasattr(workload, "configure"):
+        config = workload.configure(config)
+    system = System(config)
+    recorder = TraceRecorder(
+        system,
+        workload_name=name or getattr(workload, "name", "unknown"),
+        workload_args=workload_args,
+    )
+    result = system.run(workload)
+    return result, recorder.finish(result)
+
+
+__all__ = [
+    "Trace",
+    "TraceFormatError",
+    "TRACE_SUFFIX",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TraceReplayWorkload",
+    "compare_memory_stats",
+    "compare_recorded_breakdown",
+    "compare_replay",
+    "memory_breakdown_view",
+    "file_fingerprint",
+    "load_trace",
+    "memory_side_stats",
+    "record_workload",
+    "replay_trace",
+    "save_trace",
+]

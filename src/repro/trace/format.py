@@ -1,0 +1,360 @@
+"""Versioned, compressed trace file format.
+
+A trace is the reusable artifact of one execution-driven run: the memory
+reference stream each SM pushed across the LSU->L1 boundary (per-SM event
+streams), the memory-side stall annotations needed to keep the GSI taxonomy
+attributable on replay (per-SM span totals), and enough provenance to
+rebuild the identical machine (the full resolved
+:class:`~repro.sim.config.SystemConfig`, L2 warm lines, the end-of-kernel
+teardown point, and the recorded memory-side statistics for verification).
+
+On disk a trace is a gzip stream holding two lines::
+
+    {"format": "gsi-trace", "version": 1, "sha256": <hex of body bytes>}
+    {<body: workload, config, sms, ...>}
+
+The integrity hash covers the raw body bytes, so loading verifies with one
+pass over the buffer instead of a re-serialization.  Everything is
+canonical -- sorted keys, compact separators, no timestamps, gzip header
+pinned (no filename, ``mtime=0``, fixed compression level) -- so recording
+the same workload twice with the same seed produces *byte-identical* files,
+and the body hash doubles as the content fingerprint the experiment layer
+folds into scenario cache keys.
+
+Event streams are **flat integer lists** (one per SM, in issue order):
+one JSON array of a few million ints parses at C speed, where a list of
+per-event records would spend seconds allocating small objects.  The
+replayer walks the flat stream in place.  Encodings::
+
+    LOAD:   cycle, warp, 0, tag, dep, nlines, line...
+    STORE:  cycle, warp, 1, nlines, line...
+    ATOMIC: cycle, warp, 2, tag, dep, word_addr, flags
+
+``tag`` numbers access groups (normalized to a per-trace namespace starting
+at 1); ``dep`` is the tag of the most recently *completed* access group of
+the same warp at issue time (0 = none) -- the dependence proxy the replayer
+uses to pace streams under perturbed configurations.  ``flags`` bit 0 =
+acquire, bit 1 = release.
+
+Span streams are aggregated totals ``[n, SPAN_MEM_DATA, tag]`` /
+``[n, SPAN_MEM_STRUCT, cause_index]`` (``cause_index`` indexing
+:data:`repro.core.stall_types.MEM_STRUCT_ORDER`): replay re-resolves each
+tag's service location against the replayed hierarchy, so per-span start
+cycles carry no information and are not stored.
+"""
+
+from __future__ import annotations
+
+import base64
+import gzip
+import hashlib
+import json
+import sys
+from array import array
+from dataclasses import dataclass, field
+
+from repro.sim.config import SystemConfig
+
+TRACE_FORMAT = "gsi-trace"
+TRACE_VERSION = 1
+
+#: default file extension for recorded traces
+TRACE_SUFFIX = ".gsitrace"
+
+#: fixed gzip level: part of the byte-determinism contract
+_COMPRESS_LEVEL = 6
+
+# event kinds
+KIND_LOAD = 0
+KIND_STORE = 1
+KIND_ATOMIC = 2
+
+# atomic flag bits
+FLAG_ACQUIRE = 1
+FLAG_RELEASE = 2
+
+# span kinds
+SPAN_MEM_DATA = 0
+SPAN_MEM_STRUCT = 1
+
+# teardown phases
+PHASE_TICK = "tick"
+PHASE_EVENT = "event"
+
+
+class TraceFormatError(ValueError):
+    """The file is not a readable gsi-trace (wrong format, version, or
+    failed integrity check)."""
+
+
+def iter_events(flat: list):
+    """Decode a flat event stream into ``(kind, cycle, warp, tag, dep,
+    lines_or_addr, flags)`` tuples (inspection/tooling/validation path; the
+    replayer walks the flat form directly).  Truncated or malformed streams
+    raise :class:`TraceFormatError` instead of ``IndexError``."""
+    p = 0
+    n = len(flat)
+    while p < n:
+        if p + 3 > n:
+            raise TraceFormatError("truncated event stream at offset %d" % p)
+        cycle, warp, kind = flat[p], flat[p + 1], flat[p + 2]
+        if kind == KIND_LOAD:
+            if p + 6 > n or p + 6 + flat[p + 5] > n:
+                raise TraceFormatError("truncated load event at offset %d" % p)
+            nlines = flat[p + 5]
+            yield (kind, cycle, warp, flat[p + 3], flat[p + 4],
+                   flat[p + 6:p + 6 + nlines], 0)
+            p += 6 + nlines
+        elif kind == KIND_STORE:
+            if p + 4 > n or p + 4 + flat[p + 3] > n:
+                raise TraceFormatError("truncated store event at offset %d" % p)
+            nlines = flat[p + 3]
+            yield (kind, cycle, warp, 0, 0, flat[p + 4:p + 4 + nlines], 0)
+            p += 4 + nlines
+        elif kind == KIND_ATOMIC:
+            if p + 7 > n:
+                raise TraceFormatError("truncated atomic event at offset %d" % p)
+            yield (kind, cycle, warp, flat[p + 3], flat[p + 4], flat[p + 5],
+                   flat[p + 6])
+            p += 7
+        else:
+            raise TraceFormatError("corrupt event stream: kind %r" % kind)
+
+
+def count_events(flat: list) -> int:
+    return sum(1 for _ in iter_events(flat))
+
+
+@dataclass
+class SmStream:
+    """Everything recorded for one SM: the flat event stream and the
+    aggregated stall-span totals."""
+
+    events: list = field(default_factory=list)
+    spans: list = field(default_factory=list)
+
+
+@dataclass
+class Trace:
+    """One recorded run, ready to be replayed or saved."""
+
+    workload: str
+    workload_args: dict
+    config: dict
+    cycles: int
+    instructions: int
+    warm_lines: list
+    teardown: dict | None
+    sms: list  # list[SmStream]
+    recorded_stats: dict = field(default_factory=dict)
+    recorded_breakdown: dict = field(default_factory=dict)
+    sha256: str = ""
+
+    # ------------------------------------------------------------------
+    def base_config(self) -> SystemConfig:
+        """The resolved configuration the trace was recorded under."""
+        return SystemConfig.from_dict(self.config)
+
+    @property
+    def num_sms(self) -> int:
+        return len(self.sms)
+
+    @property
+    def num_events(self) -> int:
+        return sum(count_events(s.events) for s in self.sms)
+
+    def summary_rows(self) -> list:
+        """(label, value) provenance rows for ``repro trace info``."""
+        loads = stores = atomics = 0
+        for stream in self.sms:
+            for ev in iter_events(stream.events):
+                kind = ev[0]
+                if kind == KIND_LOAD:
+                    loads += 1
+                elif kind == KIND_STORE:
+                    stores += 1
+                else:
+                    atomics += 1
+        return [
+            ("workload", self.workload),
+            ("workload args", json.dumps(self.workload_args, sort_keys=True)),
+            ("SMs", str(self.num_sms)),
+            ("cycles", str(self.cycles)),
+            ("instructions", str(self.instructions)),
+            ("events", "%d (%d loads, %d stores, %d atomics)"
+             % (loads + stores + atomics, loads, stores, atomics)),
+            ("stall spans", str(sum(len(s.spans) for s in self.sms))),
+            ("warm lines", str(len(self.warm_lines))),
+            ("protocol", str(self.config.get("protocol"))),
+            ("mshr entries", str(self.config.get("mshr_entries"))),
+            ("store buffer entries", str(self.config.get("store_buffer_entries"))),
+            ("seed", str(self.config.get("seed"))),
+            ("sha256", self.sha256),
+        ]
+
+    # ------------------------------------------------------------------
+    def body_bytes(self) -> bytes:
+        """Canonical serialized body (what the integrity hash covers)."""
+        return json.dumps(
+            {
+                "workload": self.workload,
+                "workload_args": self.workload_args,
+                "config": self.config,
+                "cycles": self.cycles,
+                "instructions": self.instructions,
+                "warm_lines": list(self.warm_lines),
+                "teardown": self.teardown,
+                "sms": [
+                    {"events": _pack_stream(s.events), "spans": s.spans}
+                    for s in self.sms
+                ],
+                "recorded_stats": self.recorded_stats,
+                "recorded_breakdown": self.recorded_breakdown,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+
+    @staticmethod
+    def from_body(data: dict, sha256: str = "") -> "Trace":
+        try:
+            return Trace(
+                workload=data["workload"],
+                workload_args=dict(data.get("workload_args", {})),
+                config=dict(data["config"]),
+                cycles=int(data["cycles"]),
+                instructions=int(data["instructions"]),
+                warm_lines=list(data.get("warm_lines", [])),
+                teardown=data.get("teardown"),
+                sms=[
+                    SmStream(
+                        events=_unpack_stream(s.get("events", [])),
+                        spans=s.get("spans", []),
+                    )
+                    for s in data["sms"]
+                ],
+                recorded_stats=dict(data.get("recorded_stats", {})),
+                recorded_breakdown=dict(data.get("recorded_breakdown", {})),
+                sha256=sha256,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError("trace body is malformed: %s" % exc) from None
+
+
+# ---------------------------------------------------------------------------
+# stream packing
+# ---------------------------------------------------------------------------
+# A flat event stream serializes as base64-encoded packed little-endian
+# uint32 words: the array module decodes millions of values at C speed,
+# where the same stream as a JSON integer list costs seconds of parsing.
+# Plain JSON lists are still *accepted* on load, so externally generated
+# traces can be written without a packer.
+
+def _pack_stream(flat: list) -> str:
+    try:
+        arr = array("I", flat)
+    except OverflowError:
+        raise TraceFormatError(
+            "event stream value out of uint32 range (addresses and cycles "
+            "above 2**32 are not representable in trace format v%d)"
+            % TRACE_VERSION
+        ) from None
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        arr = array("I", arr)
+        arr.byteswap()
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def _unpack_stream(encoded) -> list:
+    if not isinstance(encoded, str):
+        # Externally generated trace (plain JSON list): validate the event
+        # structure eagerly -- hand-written streams are the ones that get
+        # truncated, and the replayer walks them without bounds checks.
+        flat = list(encoded)
+        count_events(flat)
+        return flat
+    arr = array("I")
+    try:
+        arr.frombytes(base64.b64decode(encoded))
+    except ValueError as exc:
+        raise TraceFormatError("corrupt packed event stream: %s" % exc) from None
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        arr.byteswap()
+    return arr.tolist()
+
+
+# ---------------------------------------------------------------------------
+# file I/O
+# ---------------------------------------------------------------------------
+
+def save_trace(trace: Trace, path: str) -> str:
+    """Write ``trace`` to ``path``; returns the content sha256.
+    Deterministic: identical traces give identical bytes."""
+    body = trace.body_bytes()
+    sha = hashlib.sha256(body).hexdigest()
+    trace.sha256 = sha
+    header = json.dumps(
+        {"format": TRACE_FORMAT, "version": TRACE_VERSION, "sha256": sha},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+    with open(path, "wb") as fh:
+        # filename="" and mtime=0 keep the gzip header free of anything
+        # environment-dependent; the compression level is pinned.
+        with gzip.GzipFile(
+            filename="", fileobj=fh, mode="wb",
+            compresslevel=_COMPRESS_LEVEL, mtime=0,
+        ) as gz:
+            gz.write(header)
+            gz.write(b"\n")
+            gz.write(body)
+    return sha
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace file; raises :class:`TraceFormatError` on anything that
+    is not a structurally valid, integrity-checked gsi-trace."""
+    try:
+        with gzip.open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise TraceFormatError("cannot read trace %s: %s" % (path, exc)) from None
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise TraceFormatError("corrupt trace %s: missing header line" % path)
+    try:
+        header = json.loads(raw[:newline])
+    except ValueError as exc:
+        raise TraceFormatError("corrupt trace %s: %s" % (path, exc)) from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            "%s is not a %s file" % (path, TRACE_FORMAT)
+        )
+    if header.get("version") != TRACE_VERSION:
+        raise TraceFormatError(
+            "unsupported trace version %r in %s (this build reads version %d)"
+            % (header.get("version"), path, TRACE_VERSION)
+        )
+    body = raw[newline + 1:]
+    actual = hashlib.sha256(body).hexdigest()
+    claimed = header.get("sha256", "")
+    if claimed != actual:
+        raise TraceFormatError(
+            "trace integrity check failed for %s: sha256 mismatch "
+            "(header %s..., content %s...)" % (path, claimed[:12], actual[:12])
+        )
+    try:
+        data = json.loads(body)
+    except ValueError as exc:
+        raise TraceFormatError("corrupt trace %s: %s" % (path, exc)) from None
+    return Trace.from_body(data, sha256=actual)
+
+
+def file_fingerprint(path: str) -> str:
+    """sha256 of the raw file bytes (cheap content identity for cache keys;
+    no decompression or parse)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()

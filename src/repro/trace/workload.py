@@ -1,0 +1,110 @@
+"""Trace files as workloads.
+
+Registering ``"trace"`` in the workload registry turns any recorded (or
+externally generated) trace file into a first-class workload: scenario
+specs, sweeps, the parallel executor, and the on-disk result cache all work
+unchanged::
+
+    [{"name": "uts-replay",
+      "workload": "trace",
+      "workload_args": {"path": "uts.gsitrace"},
+      "grid": {"mshr_entries": [8, 16, 32, 64]}}]
+
+Two deliberate deviations from ordinary workloads:
+
+* the *trace's recorded configuration* is the baseline -- the scenario's
+  ``config`` block (and the sweep grid) is applied as overrides on top of
+  it, not on top of the library defaults;
+* the scenario cache key folds in the trace file's content fingerprint
+  (see :func:`repro.workloads.workload_fingerprint`), so re-recording a
+  trace invalidates cached replay results even when the path is unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sim.config import SystemConfig
+from repro.trace.format import Trace, file_fingerprint, load_trace
+from repro.workloads.base import Workload
+
+#: tiny per-process caches: sweeps replay (and re-fingerprint) one trace
+#: many times, and the executor hashes a scenario's key several times
+_CACHE: dict = {}
+_CACHE_MAX = 4
+_FINGERPRINTS: dict = {}
+
+
+def _stat_key(path: str):
+    st = os.stat(path)
+    return (os.path.abspath(path), st.st_mtime_ns, st.st_size)
+
+
+def cached_load(path: str) -> Trace:
+    """Load ``path``, serving repeats from a small (path, mtime, size) keyed
+    cache -- a sweep grid replays the same trace at every point."""
+    key = _stat_key(path)
+    trace = _CACHE.get(key)
+    if trace is None:
+        if len(_CACHE) >= _CACHE_MAX:
+            _CACHE.clear()
+        trace = _CACHE[key] = load_trace(path)
+    return trace
+
+
+def cached_fingerprint(path: str) -> str:
+    """Memoized :func:`repro.trace.format.file_fingerprint`: the executor
+    evaluates each scenario's cache key several times per run."""
+    key = _stat_key(path)
+    digest = _FINGERPRINTS.get(key)
+    if digest is None:
+        if len(_FINGERPRINTS) >= 64:
+            _FINGERPRINTS.clear()
+        digest = _FINGERPRINTS[key] = file_fingerprint(path)
+    return digest
+
+
+class TraceReplayWorkload(Workload):
+    """Replay the trace at ``path`` (optionally under config overrides)."""
+
+    def __init__(self, path: str, overrides: dict | None = None) -> None:
+        if not os.path.exists(path):
+            raise ValueError("trace file not found: %s" % path)
+        self.path = path
+        self.overrides = dict(overrides or {})
+        self.name = "trace:%s" % os.path.basename(path)
+
+    # -- registry / cache integration -----------------------------------
+    @staticmethod
+    def cache_fingerprint(path: str, overrides: dict | None = None) -> str:
+        """Content identity of the simulation inputs behind this workload."""
+        return cached_fingerprint(path)
+
+    def accept_config_overrides(self, overrides: dict) -> None:
+        """Scenario hook: the spec's ``config`` block arrives here so it can
+        be applied over the *trace's* configuration (see module docstring)."""
+        self.overrides.update(overrides)
+
+    # -- execution ------------------------------------------------------
+    def configure(self, config: SystemConfig) -> SystemConfig:
+        """The recorded configuration plus this workload's overrides.
+
+        The passed-in ``config`` is ignored by design: a replay is anchored
+        to the machine the trace was recorded on, and only explicit
+        overrides (scenario ``config`` blocks, sweep grid points,
+        ``overrides=``) may vary it.
+        """
+        return cached_load(self.path).base_config().scaled(**self.overrides)
+
+    def replay_run(self, config: SystemConfig):
+        """Standalone runner used by :func:`repro.system.run_workload` in
+        place of building a kernel."""
+        from repro.trace.replay import replay_trace
+
+        return replay_trace(cached_load(self.path), config=config)
+
+    def build(self, system):  # pragma: no cover - defensive
+        raise TypeError(
+            "trace workloads replay a recorded stream; they do not build "
+            "kernels (use run_workload / the scenario executor)"
+        )

@@ -31,6 +31,8 @@ _BUILTINS: dict[str, tuple[str, str]] = {
     "lock_contention": ("repro.workloads.synthetic", "LockContentionWorkload"),
     "burst_store": ("repro.workloads.synthetic", "BurstStoreWorkload"),
     "idle_tail": ("repro.workloads.synthetic", "IdleTailWorkload"),
+    # replay a recorded (or externally generated) trace file as a workload
+    "trace": ("repro.trace.workload", "TraceReplayWorkload"),
 }
 
 #: user-registered factories (take precedence over builtins of the same name)
@@ -74,10 +76,31 @@ def make_workload(name: str, **kwargs) -> Workload:
     return workload_factory(name)(**kwargs)
 
 
+def workload_fingerprint(name: str, kwargs: dict) -> "str | None":
+    """Content fingerprint of external inputs behind a workload, or None.
+
+    Most workloads are fully described by ``(name, kwargs)``; workloads
+    backed by a file (trace replays) expose a ``cache_fingerprint``
+    callable on their factory so scenario cache keys change when the file's
+    *content* changes, not just its path.
+    """
+    factory = workload_factory(name)
+    fn = getattr(factory, "cache_fingerprint", None)
+    if fn is None:
+        return None
+    try:
+        return fn(**kwargs)
+    except (OSError, TypeError, ValueError) as exc:
+        raise ValueError(
+            "cannot fingerprint workload %r inputs: %s" % (name, exc)
+        ) from None
+
+
 __all__ = [
     "Workload",
     "available_workloads",
     "make_workload",
     "register_workload",
     "workload_factory",
+    "workload_fingerprint",
 ]

@@ -225,6 +225,104 @@ def test_activation_idempotent_and_wakeups_counted():
     assert c.ticks == 2
 
 
+class TestScheduleAtAndPeek:
+    """Edge cases of schedule_at/peek_next_event: same-cycle ordering,
+    scheduling at the current cycle, and behavior around stop()."""
+
+    def test_schedule_at_ties_interleave_with_schedule_in_call_order(self):
+        """schedule_at and schedule share one sequence counter, so events
+        landing on the same cycle fire in call order regardless of API."""
+        engine = Engine()
+        order = []
+        engine.schedule_at(4, lambda: order.append("at-first"))
+        engine.schedule(4, lambda: order.append("delay"))
+        engine.schedule_at(4, lambda: order.append("at-second"))
+        engine.run()
+        assert order == ["at-first", "delay", "at-second"]
+
+    def test_schedule_at_current_cycle_from_event_runs_same_cycle(self):
+        """An event scheduled *at the current cycle* from inside an event
+        callback joins the same cycle's batch drain."""
+        engine = Engine()
+        log = []
+        engine.schedule(5, lambda: engine.schedule_at(
+            engine.now, lambda: log.append(engine.now)))
+        engine.run()
+        assert log == [5]
+
+    def test_schedule_at_current_cycle_from_tick_runs_next_drain(self):
+        """From a tick, 'now' has not advanced yet, so an event at the
+        current cycle is only seen by the next iteration's drain -- it runs
+        with the clock already at cycle+1 (mirrors zero-delay schedule)."""
+        engine = Engine()
+        log = []
+
+        class T:
+            def __init__(self):
+                self.tid = engine.register(self)
+
+            def tick(self):
+                engine.schedule_at(engine.now, lambda: log.append(engine.now))
+                engine.deactivate(self.tid)
+
+        t = T()
+        engine.activate(t.tid)
+        engine.run()
+        assert log == [1]
+
+    def test_stop_mid_drain_finishes_the_cycle_batch(self):
+        """stop() requests the end of the run *after* the current cycle:
+        events already due this cycle still execute."""
+        engine = Engine()
+        log = []
+        engine.schedule(3, lambda: (log.append("a"), engine.stop()))
+        engine.schedule(3, lambda: log.append("b"))  # same cycle, after stop
+        engine.schedule(9, lambda: log.append("never"))
+        assert engine.run() == 3
+        assert log == ["a", "b"]
+
+    def test_run_after_stop_resumes_with_surviving_events(self):
+        """run() clears the stop latch; events beyond the stop point stay
+        queued and a second run() delivers them."""
+        engine = Engine()
+        log = []
+        engine.schedule(2, engine.stop)
+        engine.schedule(7, lambda: log.append(engine.now))
+        assert engine.run() == 2
+        assert log == []
+        assert engine.peek_next_event() == 7
+        assert engine.run() == 7
+        assert log == [7]
+
+    def test_schedule_at_exactly_now_never_raises(self):
+        """t == now is valid (only t < now is the past)."""
+        engine = Engine()
+        engine.schedule(4, lambda: None)
+        engine.run()
+        fired = []
+        engine.schedule_at(4, lambda: fired.append(True))  # t == now
+        engine.run()
+        assert fired == [True]
+
+    def test_peek_next_event_reports_earliest_pending(self):
+        engine = Engine()
+        assert engine.peek_next_event() is None
+        engine.schedule(8, lambda: None)
+        engine.schedule(3, lambda: None)
+        engine.schedule_at(5, lambda: None)
+        assert engine.peek_next_event() == 3
+        engine.run()
+        assert engine.peek_next_event() is None
+
+    def test_peek_is_not_consumed_after_stop(self):
+        """Events left behind by a stopped run remain visible to peek."""
+        engine = Engine()
+        engine.schedule(1, engine.stop)
+        engine.schedule(10, lambda: None)
+        engine.run()
+        assert engine.peek_next_event() == 10
+
+
 def test_engine_stats_group():
     engine = Engine()
     c = Counter(engine, stop_after=4)

@@ -1,0 +1,384 @@
+"""Tests for the trace capture & replay subsystem (repro.trace).
+
+The two load-bearing guarantees:
+
+* **determinism** -- recording the same workload twice with the same seed
+  yields byte-identical trace files;
+* **exactness** -- replaying a trace under the recorded configuration
+  reproduces the execution-driven run's memory-side statistics (per-level
+  hits/misses/loads/stores, MEM_DATA/MEM_STRUCT attribution, cycles)
+  *exactly*, without running the GPU compute frontend.
+"""
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.executor import execute
+from repro.experiments.spec import Scenario, Sweep
+from repro.sim.config import LocalMemory, SystemConfig
+from repro.system import SimResult, run_workload
+from repro.trace import (
+    TraceFormatError,
+    TraceReplayWorkload,
+    compare_replay,
+    load_trace,
+    record_workload,
+    replay_trace,
+    save_trace,
+)
+from repro.workloads import make_workload
+
+
+def _record(name, wargs, cfg_overrides=None):
+    config = SystemConfig().scaled(**(cfg_overrides or {}))
+    workload = make_workload(name, **wargs)
+    return record_workload(config, workload, name=name, workload_args=wargs)
+
+
+def _streaming_args():
+    return "streaming", {"num_tbs": 2, "warps_per_tb": 1}, {"num_sms": 2}
+
+
+# ---------------------------------------------------------------------------
+# format: save/load round trip, integrity, versioning
+# ---------------------------------------------------------------------------
+
+class TestFormat:
+    def test_round_trip(self, tmp_path):
+        _, trace = _record(*_streaming_args())
+        path = str(tmp_path / "s.gsitrace")
+        sha = save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.sha256 == sha
+        assert loaded.workload == "streaming"
+        assert loaded.num_sms == 2
+        assert loaded.num_events == trace.num_events
+        assert loaded.config == trace.config
+        assert loaded.teardown == trace.teardown
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.gsitrace")
+        with open(path, "wb") as fh:
+            fh.write(b"not a gzip")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_tampered_content_rejected(self, tmp_path):
+        _, trace = _record(*_streaming_args())
+        path = str(tmp_path / "s.gsitrace")
+        save_trace(trace, path)
+        raw = gzip.decompress(open(path, "rb").read())
+        header, body = raw.split(b"\n", 1)
+        data = json.loads(body)
+        data["cycles"] += 1  # tamper without re-hashing
+        tampered = json.dumps(data, sort_keys=True, separators=(",", ":")).encode()
+        with open(path, "wb") as fh:
+            with gzip.GzipFile(filename="", fileobj=fh, mode="wb") as gz:
+                gz.write(header + b"\n" + tampered)
+        with pytest.raises(TraceFormatError, match="integrity"):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        _, trace = _record(*_streaming_args())
+        path = str(tmp_path / "s.gsitrace")
+        save_trace(trace, path)
+        raw = gzip.decompress(open(path, "rb").read())
+        header, body = raw.split(b"\n", 1)
+        data = json.loads(header)
+        data["version"] = 99
+        with open(path, "wb") as fh:
+            with gzip.GzipFile(filename="", fileobj=fh, mode="wb") as gz:
+                gz.write(json.dumps(data).encode() + b"\n" + body)
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = str(tmp_path / "s.gsitrace")
+        with open(path, "wb") as fh:
+            with gzip.GzipFile(filename="", fileobj=fh, mode="wb") as gz:
+                gz.write(b'{"format": "something-else", "version": 1}\n{}')
+        with pytest.raises(TraceFormatError, match="not a gsi-trace"):
+            load_trace(path)
+
+    @staticmethod
+    def _write_external(tmp_path, events):
+        """Hand-write a hash-valid trace with plain-JSON event lists, the
+        format externally generated traces use."""
+        import hashlib
+
+        body = json.dumps(
+            {
+                "workload": "external",
+                "workload_args": {},
+                "config": SystemConfig(num_sms=1).to_dict(),
+                "cycles": 10,
+                "instructions": 1,
+                "warm_lines": [],
+                "teardown": {"cycle": 10, "phase": "tick", "trigger": None},
+                "sms": [{"events": events, "spans": []}],
+                "recorded_stats": {},
+                "recorded_breakdown": {},
+            }
+        ).encode()
+        header = json.dumps(
+            {"format": "gsi-trace", "version": 1,
+             "sha256": hashlib.sha256(body).hexdigest()}
+        ).encode()
+        path = str(tmp_path / "external.gsitrace")
+        with open(path, "wb") as fh:
+            with gzip.GzipFile(filename="", fileobj=fh, mode="wb") as gz:
+                gz.write(header + b"\n" + body)
+        return path
+
+    def test_external_plain_json_trace_replays(self, tmp_path):
+        # one single-line load at cycle 2: cycle, warp, LOAD, tag, dep, n, line
+        path = self._write_external(tmp_path, [2, 0, 0, 1, 0, 1, 64])
+        result = replay_trace(load_trace(path))
+        assert result.stats["l1"]["sm0"]["load_misses"] == 1
+
+    def test_truncated_external_stream_rejected(self, tmp_path):
+        # a LOAD record cut off before its line list
+        path = self._write_external(tmp_path, [2, 0, 0, 1])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path)
+
+
+# ---------------------------------------------------------------------------
+# determinism (satellite): byte-identical re-record, same-process
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_recording_twice_is_byte_identical(self, tmp_path):
+        paths = []
+        for i in range(2):
+            _, trace = _record(*_streaming_args())
+            path = str(tmp_path / ("take%d.gsitrace" % i))
+            save_trace(trace, path)
+            paths.append(path)
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b
+
+    def test_recording_does_not_perturb_the_run(self):
+        name, wargs, cfg = _streaming_args()
+        plain = run_workload(
+            SystemConfig().scaled(**cfg), make_workload(name, **wargs)
+        )
+        recorded, _ = _record(name, wargs, cfg)
+        assert plain.cycles == recorded.cycles
+        assert plain.stats == recorded.stats
+        assert plain.breakdown.to_dict() == recorded.breakdown.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# exactness (tentpole + satellite): replay == execution, memory side
+# ---------------------------------------------------------------------------
+
+EXACTNESS_CASES = [
+    ("streaming", {"num_tbs": 2, "warps_per_tb": 1}, {"num_sms": 2}),
+    # UTS is the paper's fig-6.1 workload: lock atomics, release/acquire
+    # semantics, and an event-phase teardown trigger.
+    ("uts", {"total_nodes": 30, "warps_per_tb": 2}, {"num_sms": 4}),
+    ("uts", {"total_nodes": 30, "warps_per_tb": 2},
+     {"num_sms": 4, "protocol": "denovo"}),
+    # L2-warmed workload with a frontend-triggered (approximated) teardown.
+    ("stencil_global", {"warps_per_tb": 2}, {"num_sms": 4}),
+]
+
+
+class TestReplayExactness:
+    @pytest.mark.parametrize("name,wargs,cfg", EXACTNESS_CASES)
+    def test_memory_side_stats_reproduce_exactly(self, name, wargs, cfg):
+        result, trace = _record(name, wargs, cfg)
+        replayed = replay_trace(trace)
+        mismatches = compare_replay(result, replayed)
+        assert not mismatches, "\n".join(mismatches)
+        assert replayed.cycles == result.cycles
+        assert replayed.instructions == result.instructions
+
+    def test_replay_resolves_service_locations_live(self):
+        """The mem-data sub-taxonomy must come from the replayed hierarchy,
+        not be copied from the recording."""
+        result, trace = _record(
+            "uts", {"total_nodes": 30, "warps_per_tb": 2}, {"num_sms": 4}
+        )
+        assert sum(result.breakdown.mem_data.values()) > 0
+        replayed = replay_trace(trace)
+        assert replayed.breakdown.mem_data == result.breakdown.mem_data
+        assert replayed.stats["replay"]["events_injected"] == trace.num_events
+
+    def test_replay_is_deterministic(self):
+        _, trace = _record(*_streaming_args())
+        a = replay_trace(trace, overrides={"mshr_entries": 4})
+        b = replay_trace(trace, overrides={"mshr_entries": 4})
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats
+
+
+# ---------------------------------------------------------------------------
+# replay under perturbed configurations
+# ---------------------------------------------------------------------------
+
+class TestReplayOverrides:
+    def test_overrides_reach_the_replayed_machine(self):
+        _, trace = _record(*_streaming_args())
+        replayed = replay_trace(
+            trace, overrides={"mshr_entries": 2, "store_buffer_entries": 2}
+        )
+        assert replayed.config.mshr_entries == 2
+        assert replayed.config.store_buffer_entries == 2
+        # the rest of the machine stays as recorded
+        assert replayed.config.num_sms == 2
+
+    def test_small_store_buffer_back_pressures(self):
+        _, trace = _record(*_streaming_args())
+        replayed = replay_trace(trace, overrides={"store_buffer_entries": 1})
+        assert replayed.stats["replay"]["blocked_cycles"]["store_buffer_full"] > 0
+
+    def test_num_sms_cannot_be_swept(self):
+        _, trace = _record(*_streaming_args())
+        with pytest.raises(ValueError, match="num_sms"):
+            replay_trace(trace, overrides={"num_sms": 4})
+
+    def test_unknown_override_field_is_a_value_error(self):
+        _, trace = _record(*_streaming_args())
+        with pytest.raises(ValueError, match="bad replay override"):
+            replay_trace(trace, overrides={"bogus_field": 3})
+
+    def test_local_memory_cannot_be_swept(self):
+        _, trace = _record(*_streaming_args())
+        with pytest.raises(ValueError, match="local-memory"):
+            replay_trace(trace, overrides={"local_memory": "scratchpad"})
+
+    def test_recording_local_memory_config_refused(self):
+        from repro.trace import TraceRecorder
+        from repro.system import System
+
+        workload = make_workload("implicit_dma", warps_per_tb=4)
+        config = workload.configure(SystemConfig())
+        assert config.local_memory is not LocalMemory.NONE
+        with pytest.raises(ValueError, match="local-memory"):
+            TraceRecorder(System(config))
+
+
+# ---------------------------------------------------------------------------
+# the "trace" workload: scenario specs, sweeps, executor, cache keys
+# ---------------------------------------------------------------------------
+
+class TestTraceWorkload:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        _, trace = _record(*_streaming_args())
+        path = str(tmp_path / "s.gsitrace")
+        save_trace(trace, path)
+        return path
+
+    def test_scenario_replay_matches_direct_execution(self, trace_path):
+        name, wargs, cfg = _streaming_args()
+        execution = run_workload(
+            SystemConfig().scaled(**cfg), make_workload(name, **wargs)
+        )
+        record = execute([Scenario("replayed", "trace", {"path": trace_path})])[0]
+        mismatches = compare_replay(execution, record.result)
+        assert not mismatches, "\n".join(mismatches)
+
+    def test_sweep_grid_over_one_trace(self, trace_path):
+        base = Scenario("replay", "trace", {"path": trace_path})
+        scenarios = Sweep(base, {"mshr_entries": [2, 4]}).expand()
+        records = execute(scenarios)
+        assert [r.scenario.name for r in records] == [
+            "replay/mshr_entries=2", "replay/mshr_entries=4",
+        ]
+        assert records[0].result.config.mshr_entries == 2
+        assert records[1].result.config.mshr_entries == 4
+        # the sweep result survives the executor's JSON round trip
+        rehydrated = SimResult.from_dict(records[0].result.to_dict())
+        assert rehydrated.stats["replay"]["source_sha256"]
+
+    def test_cache_key_tracks_trace_content(self, trace_path):
+        scenario = Scenario("replay", "trace", {"path": trace_path})
+        key_before = scenario.key()
+        _, other = _record("streaming", {"num_tbs": 3, "warps_per_tb": 1},
+                           {"num_sms": 2})
+        save_trace(other, trace_path)  # same path, different content
+        assert Scenario("replay", "trace", {"path": trace_path}).key() != key_before
+
+    def test_cache_round_trip(self, trace_path, tmp_path):
+        cache = str(tmp_path / "cache")
+        scenario = Scenario("replay", "trace", {"path": trace_path},
+                            config={"mshr_entries": 4})
+        first = execute([scenario], cache_dir=cache)[0]
+        second = execute([scenario], cache_dir=cache)[0]
+        assert not first.cached and second.cached
+        assert first.result.to_dict() == second.result.to_dict()
+
+    def test_missing_file_fails_validation(self):
+        with pytest.raises(ValueError, match="not found"):
+            Scenario("x", "trace", {"path": "/nonexistent.gsitrace"}).validate()
+
+    def test_build_refuses_kernel_path(self, trace_path):
+        workload = TraceReplayWorkload(trace_path)
+        with pytest.raises(TypeError, match="replay"):
+            workload.build(object())
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro trace record / replay / info
+# ---------------------------------------------------------------------------
+
+class TestTraceCli:
+    def test_record_replay_verify_info(self, tmp_path, capsys):
+        path = str(tmp_path / "s.gsitrace")
+        assert main(["trace", "record", "streaming", "--sms", "2",
+                     "-o", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace: %s" % path in out
+
+        assert main(["trace", "replay", path, "--verify"]) == 0
+        assert "verify OK" in capsys.readouterr().out
+
+        assert main(["trace", "info", path]) == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out and "sha256" in out
+
+    def test_replay_with_overrides(self, tmp_path, capsys):
+        path = str(tmp_path / "s.gsitrace")
+        assert main(["trace", "record", "streaming", "--sms", "2",
+                     "-o", path]) == 0
+        capsys.readouterr()
+        assert main(["trace", "replay", path, "--mshr", "4",
+                     "--set", "l2_access_latency=40"]) == 0
+        assert "overrides" in capsys.readouterr().out
+
+    def test_verify_with_overrides_rejected(self, tmp_path, capsys):
+        path = str(tmp_path / "s.gsitrace")
+        main(["trace", "record", "streaming", "--sms", "2", "-o", path])
+        capsys.readouterr()
+        assert main(["trace", "replay", path, "--verify", "--mshr", "4"]) == 2
+
+    def test_unknown_set_field_exits_cleanly(self, tmp_path, capsys):
+        path = str(tmp_path / "s.gsitrace")
+        main(["trace", "record", "streaming", "--sms", "2", "-o", path])
+        capsys.readouterr()
+        assert main(["trace", "replay", path, "--set", "bogus_field=3"]) == 2
+        assert "bad replay override" in capsys.readouterr().err
+
+    def test_record_to_unwritable_path_exits_cleanly(self, capsys):
+        assert main(["trace", "record", "streaming", "--sms", "2",
+                     "-o", "/nonexistent-dir/x.gsitrace"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_record_local_memory_workload_rejected(self, tmp_path, capsys):
+        path = str(tmp_path / "x.gsitrace")
+        assert main(["trace", "record", "implicit_dma", "-o", path]) == 2
+        assert "local-memory" in capsys.readouterr().err
+
+    def test_replay_unreadable_file(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.gsitrace")
+        with open(bad, "w") as fh:
+            fh.write("junk")
+        assert main(["trace", "replay", bad]) == 2
+        assert "error" in capsys.readouterr().err
