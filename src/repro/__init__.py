@@ -17,16 +17,20 @@ Quickstart::
 
 from repro.core.breakdown import StallBreakdown
 from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
+from repro.mem.hierarchy import CacheLevelSpec, HierarchySpec, Sharing
 from repro.sim.config import LocalMemory, Protocol, SystemConfig
 from repro.system import SimResult, System, run_workload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheLevelSpec",
+    "HierarchySpec",
     "LocalMemory",
     "MemStructCause",
     "Protocol",
     "ServiceLocation",
+    "Sharing",
     "SimResult",
     "StallBreakdown",
     "StallType",

@@ -5,6 +5,8 @@ Examples::
     python -m repro run uts --protocol denovo --nodes 100
     python -m repro run implicit_stash --mshr 256
     python -m repro run utsd --timeline 512 --energy
+    python -m repro run uts --protocol gpu --set l2_banks=8 --set hop_latency=5
+    python -m repro run uts --hierarchy shapes/shared_l3.json
     python -m repro sweep my_sweep.json --jobs 4 --format json --cache .sim-cache
     python -m repro trace record uts --nodes 100 -o uts.gsitrace
     python -m repro trace replay uts.gsitrace --verify
@@ -12,6 +14,13 @@ Examples::
     python -m repro trace info uts.gsitrace
     python -m repro list
     python -m repro table51
+
+``--hierarchy`` takes a JSON/YAML memory-hierarchy spec (a ``levels`` list;
+see the README's "Memory-hierarchy fabric" section), making the cache
+topology -- shared L3s, private L2s, L1 bypass, cluster sharing -- a
+first-class run/record/sweep axis.  ``--set FIELD=VALUE`` overrides any
+``SystemConfig`` field on ``run``/``record``, exactly as it already did on
+``trace replay``.
 """
 
 from __future__ import annotations
@@ -84,6 +93,20 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store-buffer", type=int, default=None)
     parser.add_argument("--scheduler", choices=["lrr", "gto"], default="lrr")
     parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--hierarchy", metavar="FILE", default=None,
+                        help="memory-hierarchy spec: a JSON/YAML file with a "
+                             "'levels' list (see README 'Memory-hierarchy "
+                             "fabric')")
+    parser.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
+                        dest="overrides",
+                        help="override any SystemConfig field (repeatable)")
+
+
+def _load_hierarchy(path: str) -> dict:
+    """Read a hierarchy spec file (JSON always; YAML when PyYAML exists)."""
+    from repro.experiments.spec import load_json_or_yaml
+
+    return load_json_or_yaml(path)
 
 
 def _config_from_args(args, timeline: "int | None" = None) -> SystemConfig:
@@ -95,8 +118,16 @@ def _config_from_args(args, timeline: "int | None" = None) -> SystemConfig:
         timeline_window=timeline,
         seed=args.seed,
     )
+    overrides = {}
     if args.sms is not None:
-        config = config.scaled(num_sms=args.sms)
+        overrides["num_sms"] = args.sms
+    if getattr(args, "hierarchy", None) is not None:
+        overrides["hierarchy"] = _load_hierarchy(args.hierarchy)
+    for text in getattr(args, "overrides", []):
+        field, value = _parse_override(text)
+        overrides[field] = value
+    if overrides:
+        config = config.scaled(**overrides)
     return config
 
 
@@ -170,7 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_run(args) -> int:
-    config = _config_from_args(args, timeline=args.timeline)
+    try:
+        config = _config_from_args(args, timeline=args.timeline)
+    except (OSError, TypeError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     workload = WORKLOADS[args.workload](args)
     result = run_workload(config, workload)
     print(result.summary())
@@ -271,7 +306,11 @@ def cmd_trace(args) -> int:
     )
 
     if args.trace_command == "record":
-        config = _config_from_args(args)
+        try:
+            config = _config_from_args(args)
+        except (OSError, TypeError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
         factory = WORKLOADS[args.workload]
         workload = factory(args)
         try:

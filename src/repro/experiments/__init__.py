@@ -15,6 +15,7 @@ from repro.experiments.figures import (
     fig62,
     fig63,
     fig64,
+    fig_hierarchy,
     overhead_experiment,
     table51,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "fig62",
     "fig63",
     "fig64",
+    "fig_hierarchy",
     "load_scenarios",
     "overhead_experiment",
     "results_by_name",

@@ -92,6 +92,14 @@ def _run_table51(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     )
 
 
+def _run_hierarchy(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
+    nodes = 60 if fast else 150
+    result = figures.fig_hierarchy(
+        total_nodes=nodes, jobs=jobs, cache_dir=cache_dir
+    )
+    return _figure_artifact("hierarchy", result)
+
+
 def _run_overhead(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     stats = figures.overhead_experiment(repeats=1 if fast else 3)
     text = (
@@ -111,6 +119,7 @@ EXPERIMENTS: dict[str, Callable[[bool, int, str | None], Artifact]] = {
     "fig6.2": _run_fig62,
     "fig6.3": _run_fig63,
     "fig6.4": _run_fig64,
+    "hierarchy": _run_hierarchy,
     "overhead": _run_overhead,
 }
 

@@ -80,12 +80,23 @@ class Scenario:
 
         Workloads backed by external files (trace replays) contribute a
         content fingerprint, so re-recording a trace at the same path
-        invalidates cached results.
+        invalidates cached results.  A ``hierarchy`` override is folded in
+        through its canonical form
+        (:meth:`repro.mem.hierarchy.HierarchySpec.canonical_dict`), so two
+        different shapes never share a cache entry while equivalent
+        spellings of one shape (defaults omitted vs. written out, display
+        labels) do.
         """
+        config = self.config
+        if config.get("hierarchy") is not None:
+            from repro.mem.hierarchy import HierarchySpec
+
+            config = dict(config)
+            config["hierarchy"] = HierarchySpec.canonical_dict(config["hierarchy"])
         inputs = {
             "workload": self.workload,
             "workload_args": self.workload_args,
-            "config": self.config,
+            "config": config,
         }
         fingerprint = workload_fingerprint(self.workload, self.workload_args)
         if fingerprint is not None:
@@ -186,8 +197,22 @@ class Sweep:
             config = dict(self.base.config)
             labels = []
             for (axis, _), point in zip(axes, combo):
-                overrides = point if isinstance(point, dict) else {axis: point}
-                display = overrides.get(axis, point)
+                if axis == "hierarchy":
+                    # A hierarchy point is itself a dict (the spec), not a
+                    # bundle of linked overrides; its sweep label is the
+                    # spec's display label.  Unlabeled shapes get a short
+                    # content digest so two of them never collide on the
+                    # (name-keyed) report side.
+                    overrides = {axis: point}
+                    display = (point or {}).get("label")
+                    if not display:
+                        digest = hashlib.sha256(
+                            json.dumps(point, sort_keys=True).encode()
+                        ).hexdigest()[:8]
+                        display = "custom-%s" % digest
+                else:
+                    overrides = point if isinstance(point, dict) else {axis: point}
+                    display = overrides.get(axis, point)
                 for target_key, value in overrides.items():
                     if target_key.startswith(WORKLOAD_AXIS_PREFIX):
                         wargs[target_key[len(WORKLOAD_AXIS_PREFIX):]] = value
@@ -214,12 +239,12 @@ class Sweep:
         return data
 
 
-def load_scenarios(path: str) -> list[Scenario]:
-    """Load scenarios from a user-written JSON or YAML file.
+def load_json_or_yaml(path: str):
+    """Parse ``path`` as JSON, or as YAML for ``.yaml``/``.yml`` files.
 
-    Accepted shapes: a list of scenario dicts, or ``{"scenarios": [...]}``.
-    A scenario dict may carry a ``grid`` key, in which case it is expanded
-    as a :class:`Sweep`.  YAML needs PyYAML; JSON always works.
+    The one file-input helper behind scenario files (:func:`load_scenarios`)
+    and hierarchy spec files (``repro run --hierarchy``).  YAML needs
+    PyYAML; JSON always works.  Parse errors surface as ``ValueError``.
     """
     with open(path, encoding="utf-8") as fh:
         text = fh.read()
@@ -227,12 +252,27 @@ def load_scenarios(path: str) -> list[Scenario]:
         try:
             import yaml  # type: ignore[import-untyped]
         except ImportError:  # pragma: no cover - environment dependent
-            raise RuntimeError(
-                "PyYAML is not installed; use a .json scenario file instead"
+            raise ValueError(
+                "PyYAML is not installed; use a .json file instead of %s" % path
             ) from None
-        data = yaml.safe_load(text)
-    else:
-        data = json.loads(text)
+        try:
+            return yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ValueError("%s: invalid YAML: %s" % (path, exc)) from None
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise ValueError("%s: invalid JSON: %s" % (path, exc)) from None
+
+
+def load_scenarios(path: str) -> list[Scenario]:
+    """Load scenarios from a user-written JSON or YAML file.
+
+    Accepted shapes: a list of scenario dicts, or ``{"scenarios": [...]}``.
+    A scenario dict may carry a ``grid`` key, in which case it is expanded
+    as a :class:`Sweep`.  YAML needs PyYAML; JSON always works.
+    """
+    data = load_json_or_yaml(path)
     if isinstance(data, dict):
         data = data.get("scenarios", [])
     if not isinstance(data, list) or not data:

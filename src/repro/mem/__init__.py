@@ -3,6 +3,13 @@ DMA engine, stash, and the coherence protocols."""
 
 from repro.mem.cache import LineState, SetAssocCache
 from repro.mem.dma import DmaEngine, DmaTransfer
+from repro.mem.hierarchy import (
+    BankedTagArray,
+    CacheLevelSpec,
+    HierarchySpec,
+    SharedCacheLevel,
+    Sharing,
+)
 from repro.mem.l1 import L1Controller
 from repro.mem.l2 import L2Cache
 from repro.mem.main_memory import Dram, GlobalMemory
@@ -12,12 +19,17 @@ from repro.mem.stash import Stash, StashMapping
 from repro.mem.store_buffer import SbEntry, SbEntryState, StoreBuffer
 
 __all__ = [
+    "BankedTagArray",
+    "CacheLevelSpec",
     "DmaEngine",
     "DmaTransfer",
     "Dram",
     "GlobalMemory",
+    "HierarchySpec",
     "L1Controller",
     "L2Cache",
+    "SharedCacheLevel",
+    "Sharing",
     "LineState",
     "Mshr",
     "SbEntry",

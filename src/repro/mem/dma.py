@@ -59,6 +59,10 @@ class DmaEngine(Component):
         self.engine = engine
         self.l1 = l1
         self.scratchpad = scratchpad
+        #: directory-level access latency from the elaborated hierarchy (==
+        #: ``l2_access_latency`` on the default shape; an explicit spec may
+        #: retune the level and the DMA must see the same machine)
+        self._l2_latency = config.effective_hierarchy().directory_level.hit_latency
         self._transfers: list[DmaTransfer] = []
         self._pump_scheduled = False
         # Refill a freed MSHR entry in the same event window, before the SM
@@ -172,7 +176,7 @@ class DmaEngine(Component):
         # The L2 acks to the L1 controller; we count completion optimistically
         # after the round trip by registering a waiter on the engine clock.
         rtt = 2 * self.l1.mesh.hops(self.l1.node, self.l1.l2_node_of_line(gline))
-        delay = rtt * self.config.hop_latency + self.config.l2_access_latency + 2
+        delay = rtt * self.config.hop_latency + self._l2_latency + 2
         self.lines_stored += 1
         self.engine.schedule(delay, lambda t=transfer: self._store_done(t))
 

@@ -1,15 +1,29 @@
-"""Per-core L1 controller: cache + MSHR + write-combining store buffer.
+"""Core-side cache stack: private/cluster cache levels + MSHR + write-
+combining store buffer.
+
+Historically this file held the hard-wired single L1; it is now the
+elaboration of the *core-side portion* of a
+:class:`~repro.mem.hierarchy.HierarchySpec`: an ordered stack of
+private-per-core (or cluster-shared) levels in front of one MSHR and one
+store buffer.  The default spec elaborates to exactly the old machine -- a
+single L1 level -- and keeps its hot paths byte-for-byte: level 0 is probed
+inline, deeper levels (a private L2, a victim cache, ...) only cost a
+branch when they exist.
 
 This is the component GSI watches most closely.  Every load completion is
 labelled with a :class:`ServiceLocation` (L1 / L1-coalescing / L2 /
 remote-L1 / main memory) so memory *data* stalls can be sub-classified, and
 every resource rejection surfaces as a :class:`MemStructCause` through the
-LSU so memory *structural* stalls can be sub-classified.
+LSU so memory *structural* stalls can be sub-classified.  Hits anywhere in
+the core-side stack report ``ServiceLocation.L1`` ("serviced within the
+core's private hierarchy").
 
 Protocol-specific behaviour is delegated to a
 :class:`~repro.mem.coherence.base.CoherenceProtocol` policy object; the
 controller itself only knows the mechanics: look up, miss, merge, drain,
-fill, evict, forward.
+fill, spill, write back, forward.  Evicted lines spill down the stack
+(victim levels fill *only* from spills) and a registered (OWNED) line only
+writes back once no level of the stack holds it.
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
 from repro.mem.cache import LineState, SetAssocCache
 from repro.mem.coherence.base import CoherenceProtocol
+from repro.mem.hierarchy import CacheLevelSpec
 from repro.mem.main_memory import GlobalMemory
 from repro.mem.mshr import Mshr
 from repro.mem.store_buffer import SbEntry, StoreBuffer
@@ -30,8 +45,58 @@ from repro.sim.config import SystemConfig
 LoadCallback = Callable[[ServiceLocation, int], None]  # (where, req_id)
 
 
+class _CoreLevel:
+    """One elaborated core-side level: a tag array plus its spec knobs."""
+
+    __slots__ = ("name", "tags", "hit_latency", "bypass", "victim")
+
+    def __init__(self, spec: CacheLevelSpec, tags: SetAssocCache) -> None:
+        self.name = spec.name
+        self.tags = tags
+        self.hit_latency = spec.hit_latency
+        self.bypass = spec.bypass
+        self.victim = spec.victim
+
+
+class _StackTags:
+    """Cache-like view over a whole multi-level stack.
+
+    Handed to the coherence protocol in place of the single L1 tag array so
+    ``store_completes_locally`` sees a line registered at *any* level.
+    Single-level stacks (the default machine) pass the level-0 array
+    directly and never build one of these.
+    """
+
+    __slots__ = ("levels",)
+
+    def __init__(self, levels: list[_CoreLevel]) -> None:
+        self.levels = [lv for lv in levels if not lv.bypass]
+
+    def state_of(self, line: int):
+        for lv in self.levels:
+            state = lv.tags.state_of(line)
+            if state is not None:
+                return state
+        return None
+
+    def lookup(self, line: int, touch: bool = True):
+        for lv in self.levels:
+            state = lv.tags.lookup(line, touch)
+            if state is not None:
+                return state
+        return None
+
+    def contains(self, line: int) -> bool:
+        return any(lv.tags.contains(line) for lv in self.levels)
+
+
 class L1Controller(Component):
-    """L1 complex of one core (SM or CPU)."""
+    """Core-side cache stack of one core (SM or CPU).
+
+    Kept under its historical name: the component is still ``l1`` in the
+    tree (``sm3.l1.mshr`` and friends), whatever levels the hierarchy spec
+    stacks inside it.
+    """
 
     def __init__(
         self,
@@ -41,6 +106,8 @@ class L1Controller(Component):
         l2_node_of_line: Callable[[int], int],
         protocol: CoherenceProtocol,
         memory: GlobalMemory,
+        levels: "list[CacheLevelSpec] | None" = None,
+        shared_tags: "dict[str, SetAssocCache] | None" = None,
     ) -> None:
         Component.__init__(self, "l1")
         self.node = node
@@ -50,8 +117,42 @@ class L1Controller(Component):
         self.l2_node_of_line = l2_node_of_line
         self.protocol = protocol
         self.memory = memory
-        self.cache = SetAssocCache(config.l1_sets, config.l1_assoc)
-        self.add_child(self.cache)
+        if levels is None:
+            levels = config.effective_hierarchy().core_levels
+        if not levels:
+            raise ValueError("core-side stack needs at least one cache level")
+        #: elaborated levels, outermost (closest to the core) first.  A
+        #: cluster level's tag array arrives via ``shared_tags`` and is
+        #: only adopted into this component's subtree by its first sharer.
+        self.levels: list[_CoreLevel] = []
+        for i, spec in enumerate(levels):
+            tags = (shared_tags or {}).get(spec.name)
+            if tags is None:
+                tags = SetAssocCache(
+                    spec.size // (config.line_size * spec.assoc),
+                    spec.assoc,
+                    name="cache" if i == 0 else spec.name,
+                )
+            if tags.parent is None:
+                self.add_child(tags)
+            self.levels.append(_CoreLevel(spec, tags))
+        l0 = self.levels[0]
+        self.cache = l0.tags
+        self._l0_probe = not l0.bypass
+        self._l0_latency = l0.hit_latency
+        #: deeper levels, or None for the (default) single-level stack --
+        #: the hot load path only pays a falsy check for them.
+        self._deeper = self.levels[1:] or None
+        #: levels acquire-invalidation must sweep beyond level 0
+        self._deeper_inval = [
+            lv for lv in self.levels[1:] if not lv.bypass
+        ] or None
+        #: what the protocol probes for local-store/ownership decisions:
+        #: the plain level-0 array when it is the whole stack (fast path),
+        #: a whole-stack view otherwise.
+        self._protocol_tags = (
+            self.cache if self._deeper is None and self._l0_probe else _StackTags(self.levels)
+        )
         self.mshr = Mshr(config.mshr_entries)
         self.add_child(self.mshr)
         self.store_buffer = StoreBuffer(
@@ -94,19 +195,23 @@ class L1Controller(Component):
         bypass_l1: bool = False,
     ) -> None:
         """Request ``line``; ``on_done(service_loc, req_id)`` fires when the
-        data is available.  ``bypass_l1`` fills skip the cache (DMA/stash).
+        data is available.  ``bypass_l1`` fills skip the whole stack
+        (DMA/stash traffic), independent of any level's ``bypass`` spec.
 
         The caller (LSU / DMA engine / stash) is responsible for checking
         MSHR capacity *before* calling -- that is where the structural stall
         is classified.
         """
-        if not bypass_l1 and self.cache.lookup(line) is not None:
-            self.load_hits.value += 1
-            self.engine.schedule(
-                self.config.l1_hit_latency,
-                lambda: on_done(ServiceLocation.L1, -1),
-            )
-            return
+        if not bypass_l1:
+            if self._l0_probe and self.cache.lookup(line) is not None:
+                self.load_hits.value += 1
+                self.engine.schedule(
+                    self._l0_latency,
+                    lambda: on_done(ServiceLocation.L1, -1),
+                )
+                return
+            if self._deeper is not None and self._deeper_hit(line, on_done):
+                return
         self.load_misses.value += 1
         existing = self.mshr.lookup(line)
         if existing is not None:
@@ -129,6 +234,33 @@ class L1Controller(Component):
             )
         )
 
+    def _deeper_hit(self, line: int, on_done: LoadCallback) -> bool:
+        """Probe the stack below level 0; promote and respond on a hit."""
+        for i, lv in enumerate(self.levels):
+            if i == 0 or lv.bypass:
+                continue
+            state = lv.tags.lookup(line)
+            if state is None:
+                continue
+            # Promote into the first non-bypass level above the hit,
+            # preserving the coherence state (an OWNED line must stay
+            # registered wherever it lives).  A victim level additionally
+            # gives its copy up -- but only when there is somewhere above
+            # to promote to, or the line would be silently discarded.
+            target = next(
+                (j for j in range(i) if not self.levels[j].bypass), None
+            )
+            if target is not None:
+                if lv.victim:
+                    lv.tags.invalidate(line)
+                self._insert_at(target, line, state)
+            self.load_hits.value += 1
+            self.engine.schedule(
+                lv.hit_latency, lambda: on_done(ServiceLocation.L1, -1)
+            )
+            return True
+        return False
+
     def mshr_can_allocate(self, line: int) -> bool:
         """Room for a load to ``line`` (full MSHRs still accept merges)."""
         return self.mshr.lookup(line) is not None or not self.mshr.is_full()
@@ -137,7 +269,7 @@ class L1Controller(Component):
     # Store path
     # ------------------------------------------------------------------
     def can_accept_store(self, line: int) -> bool:
-        if self.protocol.store_completes_locally(self.cache, line):
+        if self.protocol.store_completes_locally(self._protocol_tags, line):
             return True
         return self.store_buffer.can_accept(line)
 
@@ -145,7 +277,7 @@ class L1Controller(Component):
         """Aggregate admission check for a multi-line store instruction."""
         need = 0
         for line in lines:
-            if self.protocol.store_completes_locally(self.cache, line):
+            if self.protocol.store_completes_locally(self._protocol_tags, line):
                 continue
             if self.store_buffer.has_combinable_entry(line):
                 continue
@@ -155,10 +287,10 @@ class L1Controller(Component):
     def store_line(self, line: int, words: set[int] | None = None) -> None:
         """Buffer a store to ``line``.  Caller checks :meth:`can_accept_store`."""
         self.stores.value += 1
-        if self.protocol.store_completes_locally(self.cache, line):
+        if self.protocol.store_completes_locally(self._protocol_tags, line):
             # DeNovo: the line is already registered here; done.
             self.local_store_hits.value += 1
-            self.cache.lookup(line)  # refresh LRU
+            self._protocol_tags.lookup(line)  # refresh LRU
             return
         self.store_buffer.write(line, words)
         self._schedule_drain()
@@ -190,11 +322,19 @@ class L1Controller(Component):
     # Synchronization
     # ------------------------------------------------------------------
     def acquire_invalidate(self) -> int:
-        """Self-invalidate on acquire; returns lines dropped."""
+        """Self-invalidate every level on acquire; returns *copies* dropped.
+
+        On the paper's single-level machine copies == lines; a multi-level
+        stack that holds a line at two levels (a promoted deeper hit)
+        counts both copies, so ``self_invalidated_lines`` reads as
+        invalidation *volume* across the stack, not distinct lines.
+        """
         self.acquires.value += 1
-        dropped = self.cache.invalidate_all(
-            keep_owned=self.protocol.keeps_owned_on_acquire()
-        )
+        keep = self.protocol.keeps_owned_on_acquire()
+        dropped = self.cache.invalidate_all(keep_owned=keep)
+        if self._deeper_inval is not None:
+            for lv in self._deeper_inval:
+                dropped += lv.tags.invalidate_all(keep_owned=keep)
         self.lines_self_invalidated.value += dropped
         return dropped
 
@@ -213,7 +353,7 @@ class L1Controller(Component):
         return len(self._atomic_waiters)
 
     # ------------------------------------------------------------------
-    # Atomics (serviced at the L2)
+    # Atomics (serviced at the shared directory level)
     # ------------------------------------------------------------------
     def atomic(
         self,
@@ -273,14 +413,44 @@ class L1Controller(Component):
         for cb in entry.merged_waiters:
             cb(ServiceLocation.L1_COALESCE, msg.req_id)
 
+    # ------------------------------------------------------------------
+    # Fill / spill / writeback (one mechanism for every stack shape)
+    # ------------------------------------------------------------------
     def _install_fill(self, line: int, state: LineState) -> None:
-        victim = self.cache.insert(line, state)
-        if victim is not None:
-            self._evict(*victim)
+        """Install a fabric fill at the first fillable level; evictions
+        spill down the stack and fall off the end into a writeback."""
+        if self._l0_probe:
+            self._insert_at(0, line, state)
+            return
+        if self._deeper is not None:
+            for i, lv in enumerate(self.levels):
+                if not lv.bypass and not lv.victim:
+                    self._insert_at(i, line, state)
+                    return
+        # Fully bypassed stack (scratchpad-heavy shape): nothing is cached.
 
-    def _evict(self, line: int, state: LineState) -> None:
+    def _insert_at(self, index: int, line: int, state: LineState) -> None:
+        victim = self.levels[index].tags.insert(line, state)
+        if victim is not None:
+            self._spill(index, victim[0], victim[1])
+
+    def _spill(self, from_index: int, line: int, state: LineState) -> None:
+        """An eviction leaves level ``from_index``: hand it to the next
+        level that holds lines (victim levels fill exactly this way), or
+        write it back once it falls off the stack."""
+        levels = self.levels
+        for j in range(from_index + 1, len(levels)):
+            if levels[j].bypass:
+                continue
+            self._insert_at(j, line, state)
+            return
         if not self.protocol.needs_eviction_writeback(state):
             return
+        # A registered line only leaves the core when *no* level holds it
+        # any more (a deeper copy keeps the registration alive).
+        for lv in levels:
+            if not lv.bypass and lv.tags.contains(line):
+                return
         self.wb_pending.add(line)
         self.mesh.send(
             Message(
@@ -306,9 +476,10 @@ class L1Controller(Component):
         # other acks carry no L1-side state
 
     def _handle_fwd_gets(self, msg: Message) -> None:
-        """The L2 believes we own ``msg.line``: respond to the requester."""
+        """The directory believes we own ``msg.line``: respond to the
+        requester (the line may live at any level of the stack)."""
         assert msg.requester is not None
-        state = self.cache.state_of(msg.line)
+        state = self._protocol_tags.state_of(msg.line)
         if state is not LineState.OWNED and msg.line not in self.wb_pending:
             # Raced with an eviction already acknowledged at the L2;
             # functionally harmless (GlobalMemory is authoritative).
@@ -332,6 +503,10 @@ class L1Controller(Component):
         )
 
     def _handle_fwd_geto(self, msg: Message) -> None:
-        """Ownership transferred away (or recalled): drop the line."""
+        """Ownership transferred away (or recalled): drop the line from
+        every level of the stack."""
         self.cache.invalidate(msg.line)
+        if self._deeper is not None:
+            for lv in self._deeper:
+                lv.tags.invalidate(msg.line)
         self.wb_pending.discard(msg.line)

@@ -1,21 +1,34 @@
-"""Banked NUCA L2 cache with an integrated coherence directory.
+"""The shared directory level of the hierarchy fabric (the paper's banked
+NUCA L2) plus the chain of deeper shared levels behind it.
 
-All cores share one L2 (Table 5.1: 4 MB, 16 banks).  Banks are distributed
-one per mesh node, so the access latency seen by a core is the bank's fixed
-access time plus the XY-routed round trip -- that distance spread is the
-source of the paper's 29-61 cycle L2 hit range.
+All cores share the fabric's first ``global`` level (Table 5.1: 4 MB, 16
+banks).  Banks are distributed one per mesh node, so the access latency
+seen by a core is the bank's fixed access time plus the XY-routed round
+trip -- that distance spread is the source of the paper's 29-61 cycle L2
+hit range.  Geometry, latencies and bank count come from the level's
+:class:`~repro.mem.hierarchy.CacheLevelSpec`; with no explicit hierarchy
+the spec is derived from the flat ``SystemConfig`` fields, elaborating to
+exactly the old machine.
 
-The directory side implements what both protocols need from the last level
-cache (Section 6.1.1):
+The directory side implements what both protocols need from the shared
+point of coherence (Section 6.1.1):
 
 * GPU coherence: writes arrive as write-through ``PUT_WT`` data; loads are
-  serviced from the L2 (or DRAM on a miss).
+  serviced from the L2 (or below on a miss).
 * DeNovo: ``GETO`` registers the requester as the owner of a line.  A later
   ``GETS`` from another core is *forwarded* to the owner, which responds
   directly to the requester -- the extra hop behind the "remote L1" data
   stall sub-class.  ``WB_OWNED`` returns ownership on eviction.
-* Atomics execute at the L2 bank (Chapter 5), one per bank per cycle, which
-  naturally serializes lock traffic.
+* Atomics execute at the directory bank (Chapter 5), one per bank per
+  cycle, which naturally serializes lock traffic.
+
+Deeper ``global`` levels (a shared L3, ...) sit on the backside: a
+directory miss walks the chain
+(:class:`~repro.mem.hierarchy.SharedCacheLevel`), paying each level's NoC
+round trip, bank serialization and access latency, and only reaches DRAM
+when the whole chain misses.  Chain hits report ``ServiceLocation.L2``
+(serviced within the shared cache hierarchy); only true DRAM fills report
+``MEMORY``.
 """
 
 from __future__ import annotations
@@ -24,7 +37,8 @@ from functools import partial
 
 from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
-from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.cache import LineState
+from repro.mem.hierarchy import BankedTagArray, CacheLevelSpec, SharedCacheLevel
 from repro.mem.main_memory import Dram, GlobalMemory
 from repro.noc.mesh import Mesh
 from repro.noc.message import Message, MsgType
@@ -32,7 +46,7 @@ from repro.sim.config import SystemConfig
 
 
 class L2Cache(Component):
-    """The shared L2: tag arrays per bank, directory, and DRAM backside."""
+    """The shared directory level: tag banks, directory, and backside."""
 
     def __init__(
         self,
@@ -40,24 +54,30 @@ class L2Cache(Component):
         mesh: Mesh,
         memory: GlobalMemory,
         dram: Dram,
+        spec: CacheLevelSpec | None = None,
+        next_levels: "list[SharedCacheLevel] | None" = None,
     ) -> None:
-        Component.__init__(self, "l2")
+        if spec is None:
+            spec = config.effective_hierarchy().directory_level
+        Component.__init__(self, spec.name)
         self.config = config
+        self.spec = spec
         self.mesh = mesh
         self.engine = mesh.engine
         self.memory = memory
         self.dram = dram
-        self.num_banks = config.l2_banks
-        self._banks = [
-            SetAssocCache(config.l2_sets_per_bank, config.l2_assoc, name="bank%d" % i)
-            for i in range(self.num_banks)
-        ]
-        for bank in self._banks:
-            self.add_child(bank)
-        self._bank_free = [0] * self.num_banks
+        self.num_banks = spec.banks
+        self.tags = BankedTagArray(
+            self, spec.sets(config.line_size), spec.assoc, spec.banks
+        )
+        self._dir_latency = spec.effective_dir_latency
+        #: data-array portion of an access beyond the directory lookup
+        self._data_array_delay = max(0, spec.hit_latency - self._dir_latency)
         #: home mesh node per bank, precomputed: ``node_of_line`` sits on
         #: the request path of every L1 and response path of every bank.
-        self._bank_node = [b % mesh.num_nodes for b in range(self.num_banks)]
+        self._bank_node = mesh.distribute_banks(spec.banks)
+        #: deeper shared levels, walked on a directory miss (usually empty)
+        self._next_levels = list(next_levels or [])
         #: line -> owning core's node id (DeNovo registration)
         self.owner: dict[int, int] = {}
         #: observer for :meth:`warm_lines` (the trace recorder captures the
@@ -85,31 +105,27 @@ class L2Cache(Component):
 
         The base delay is the directory/tag lookup; requests that must read
         the data array (loads served from the L2, atomics) pay the remaining
-        ``l2_access_latency - l2_dir_latency`` before responding.  Forwards
-        and write acknowledgements leave after the directory alone, which is
-        what keeps the paper's remote-L1 latency range (35-83) overlapping
-        the L2 hit range (29-61).
+        ``hit_latency - dir_latency`` before responding.  Forwards and write
+        acknowledgements leave after the directory alone, which is what
+        keeps the paper's remote-L1 latency range (35-83) overlapping the
+        L2 hit range (29-61).
         """
-        now = self.engine.now
-        start = max(now, self._bank_free[bank])
-        self._bank_free[bank] = start + 1
-        return (start - now) + self.config.l2_dir_latency
-
-    @property
-    def _data_array_delay(self) -> int:
-        return max(0, self.config.l2_access_latency - self.config.l2_dir_latency)
+        return self.tags.serialize(bank, self.engine.now) + self._dir_latency
 
     def warm_lines(self, lines) -> None:
-        """Pre-install lines in the L2 (data produced by a prior kernel).
+        """Pre-install lines in the shared levels (data produced by a prior
+        kernel).
 
         The case-study arrays are initialized before the measured kernel
-        runs; warming keeps the first measured access an L2 hit instead of
-        a cold DRAM miss, as it would be on the paper's testbed."""
+        runs; warming keeps the first measured access a shared-cache hit
+        instead of a cold DRAM miss, as it would be on the paper's testbed."""
         lines = list(lines)
         if self.warm_tap is not None:
             self.warm_tap(lines)
         for line in lines:
             self._fill(self.bank_of(line), line)
+        for level in self._next_levels:
+            level.warm(lines)
 
     # ------------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
@@ -154,18 +170,40 @@ class L2Cache(Component):
                 )
             )
             return
-        cache = self._banks[bank]
-        if cache.lookup(line) is not None:
+        if self.tags.banks[bank].lookup(line) is not None:
             self._respond_data(msg, ServiceLocation.L2, extra_delay=self._data_array_delay)
         else:
-            done = self.dram.access_done(self.engine.now, line)
-            self.dram_fills.value += 1
+            extra, loc = self._fetch_below(line)
             self._fill(bank, line)
             self._respond_data(
-                msg,
-                ServiceLocation.MEMORY,
-                extra_delay=(done - self.engine.now) + self._data_array_delay,
+                msg, loc, extra_delay=extra + self._data_array_delay
             )
+
+    def _fetch_below(self, line: int) -> tuple[int, ServiceLocation]:
+        """Service a directory miss from the backside: walk the deeper
+        shared levels, then DRAM.  Returns ``(extra_delay, service_loc)``
+        relative to now."""
+        now = self.engine.now
+        chain = self._next_levels
+        if not chain:
+            # Default machine: DRAM sits directly behind the directory.
+            done = self.dram.access_done(now, line)
+            self.dram_fills.value += 1
+            return done - now, ServiceLocation.MEMORY
+        home = self.node_of_line(line)
+        src = home
+        start = now
+        for level in chain:
+            delay, hit = level.probe(line, src, home, start, now)
+            if hit:
+                return delay, ServiceLocation.L2
+            start = now + delay
+            src = level.node_of_line(line)
+        done = self.dram.access_done(start, line)
+        self.dram_fills.value += 1
+        # The fill rides directly back from the last level's home bank.
+        back = self.mesh.hops(src, home) * self.mesh.hop_latency
+        return (done - now) + back, ServiceLocation.MEMORY
 
     def _respond_data(self, req: Message, loc: ServiceLocation, extra_delay: int) -> None:
         if extra_delay > 0:
@@ -188,7 +226,7 @@ class L2Cache(Component):
         )
 
     def _fill(self, bank: int, line: int) -> None:
-        self._banks[bank].insert(line, LineState.VALID)
+        self.tags.banks[bank].insert(line, LineState.VALID)
 
     # ------------------------------------------------------------------
     def _service_put_wt(self, msg: Message, bank: int) -> None:

@@ -1,7 +1,11 @@
 """Miss Status Holding Registers.
 
-A 32-entry MSHR (Table 5.1) tracks outstanding misses per line.  A second
-miss to a line that already has an entry *merges* instead of allocating;
+A 32-entry MSHR (Table 5.1) tracks outstanding misses per line.  One MSHR
+serves a whole core-side cache stack (however many private/cluster levels
+the hierarchy spec elaborates): it tracks misses that left the core for
+the shared fabric, which is also why writebacks never occupy an entry.  A
+second miss to a line that already has an entry *merges* instead of
+allocating;
 when the response arrives the merged requesters are serviced by the same
 fill, which is exactly the paper's "L1 coalescing" memory-data stall
 sub-class (Section 4.3).

@@ -100,6 +100,20 @@ class Mesh(Component):
         self._check_node(dst)
         return self._hop_table[src][dst]
 
+    def distribute_banks(self, num_banks: int, offset: int = 0) -> list[int]:
+        """Home-node table for a banked shared cache level: bank ``b`` lives
+        at node ``(b + offset) % num_nodes`` (round-robin NUCA placement).
+
+        The hierarchy fabric derives every shared level's endpoint placement
+        from this one distributor; ``offset`` staggers consecutive levels
+        (the L3's banks start one node over from the L2's) so stacked levels
+        do not pile their hot banks onto the same routers.
+        """
+        if num_banks < 1:
+            raise ValueError("a banked level needs at least one bank")
+        n = self.num_nodes
+        return [(b + offset) % n for b in range(num_banks)]
+
     def xy_route(self, src: int, dst: int) -> list[int]:
         """The node sequence an XY-routed packet traverses (inclusive)."""
         sr, sc = self.coords(src)

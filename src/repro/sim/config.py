@@ -9,6 +9,11 @@ Latencies are expressed in GPU cycles.  The paper reports latency *ranges*
 (L2 hit 29-61 cycles, memory 197-261 cycles, remote L1 35-83 cycles) because
 the L2 is NUCA and costs depend on mesh distance; here the ranges emerge from
 the hop count between the requesting core and the home L2 bank.
+
+The cache topology itself is sweepable: the flat ``l1_*``/``l2_*`` fields
+describe the default Table 5.1 two-level machine, and an explicit
+``hierarchy`` field (a :mod:`repro.mem.hierarchy` spec as a plain dict)
+replaces it with any composition of private / cluster / global levels.
 """
 
 from __future__ import annotations
@@ -101,6 +106,14 @@ class SystemConfig:
     #: messages per cycle each node can inject/eject (NoC interface width)
     mesh_endpoint_bw: int = 2
 
+    # --- memory-hierarchy fabric -------------------------------------------
+    #: explicit hierarchy shape (a :class:`repro.mem.hierarchy.HierarchySpec`
+    #: as a plain dict: ``{"levels": [...], "label": ...}``).  ``None`` means
+    #: "derive the Table 5.1 shape from the flat fields above" -- the two
+    #: spellings elaborate to the identical machine.  Stored in canonical
+    #: (fully populated) dict form so configs compare and serialize stably.
+    hierarchy: dict | None = None
+
     # --- protocol / local memory selection ---------------------------------
     protocol: Protocol = Protocol.GPU_COHERENCE
     local_memory: LocalMemory = LocalMemory.NONE
@@ -129,15 +142,63 @@ class SystemConfig:
     seed: int = 2016
 
     def __post_init__(self) -> None:
+        """Validate everything at construction time, with messages that say
+        how to fix the configuration -- a bad config must never survive long
+        enough to fail deep inside ``System`` elaboration."""
+        if self.num_sms < 0 or self.num_cpus < 0:
+            raise ValueError(
+                "num_sms (%d) and num_cpus (%d) must be non-negative"
+                % (self.num_sms, self.num_cpus)
+            )
+        if self.mesh_rows < 1 or self.mesh_cols < 1:
+            raise ValueError(
+                "mesh must be at least 1x1 (got %dx%d)"
+                % (self.mesh_rows, self.mesh_cols)
+            )
         if self.num_sms + self.num_cpus > self.mesh_rows * self.mesh_cols:
             raise ValueError(
-                "mesh has %d nodes but %d cores requested"
-                % (self.mesh_rows * self.mesh_cols, self.num_sms + self.num_cpus)
+                "mesh is %dx%d = %d nodes but num_sms=%d + num_cpus=%d = %d "
+                "cores were requested; grow mesh_rows/mesh_cols or shrink "
+                "the core counts (each core occupies one mesh node)"
+                % (
+                    self.mesh_rows,
+                    self.mesh_cols,
+                    self.mesh_rows * self.mesh_cols,
+                    self.num_sms,
+                    self.num_cpus,
+                    self.num_sms + self.num_cpus,
+                )
             )
-        if self.line_size & (self.line_size - 1):
-            raise ValueError("line_size must be a power of two")
+        if self.line_size < 1 or self.line_size & (self.line_size - 1):
+            raise ValueError(
+                "line_size %d must be a power of two (line numbers are "
+                "address shifts)" % self.line_size
+            )
+        for label, value in (
+            ("l1_assoc", self.l1_assoc),
+            ("l1_banks", self.l1_banks),
+            ("l2_assoc", self.l2_assoc),
+            ("l2_banks", self.l2_banks),
+        ):
+            if value < 1 or value & (value - 1):
+                raise ValueError(
+                    "%s must be a power of two, got %d (bank and way "
+                    "selection are address modulos)" % (label, value)
+                )
         if self.l1_size % (self.line_size * self.l1_assoc):
-            raise ValueError("l1_size must be a multiple of line_size * assoc")
+            raise ValueError(
+                "l1_size %d must be a multiple of line_size * l1_assoc = %d"
+                % (self.l1_size, self.line_size * self.l1_assoc)
+            )
+        if self.l2_size % (self.line_size * self.l2_assoc * self.l2_banks):
+            raise ValueError(
+                "l2_size %d must be a multiple of line_size * l2_assoc * "
+                "l2_banks = %d"
+                % (
+                    self.l2_size,
+                    self.line_size * self.l2_assoc * self.l2_banks,
+                )
+            )
         if self.mshr_entries < 1 or self.store_buffer_entries < 1:
             raise ValueError("mshr and store buffer need at least one entry")
         if self.warp_scheduler not in ("lrr", "gto"):
@@ -146,12 +207,44 @@ class SystemConfig:
             raise ValueError(
                 "attribution_policy must be 'weak', 'strong' or 'first'"
             )
+        if self.hierarchy is not None:
+            # Normalize to the canonical dict form so configs that spell the
+            # same shape differently compare (and hash) equal, and validate
+            # the shape against this machine's geometry right away.
+            from repro.mem.hierarchy import HierarchySpec
+
+            spec = HierarchySpec.from_dict(self.hierarchy)
+            spec.validate(line_size=self.line_size, num_sms=self.num_sms)
+            self.hierarchy = spec.to_dict()
+
+    # ------------------------------------------------------------------
+    def effective_hierarchy(self):
+        """The :class:`~repro.mem.hierarchy.HierarchySpec` this config
+        elaborates to: the explicit one, or the Table 5.1 shape derived
+        from the flat ``l1_*``/``l2_*`` fields."""
+        from repro.mem.hierarchy import HierarchySpec
+
+        if self.hierarchy is None:
+            return HierarchySpec.from_config(self)
+        return HierarchySpec.from_dict(self.hierarchy)
 
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
         """Total mesh nodes."""
         return self.mesh_rows * self.mesh_cols
+
+    @property
+    def sm_nodes(self) -> list[int]:
+        """Mesh node of each SM: SMs fill the mesh from node 0 upward."""
+        return list(range(self.num_sms))
+
+    @property
+    def cpu_nodes(self) -> list[int]:
+        """Mesh node of each CPU core: CPUs fill the mesh from the top end
+        downward.  Non-overlap with :attr:`sm_nodes` is guaranteed by the
+        capacity check at construction."""
+        return [self.num_nodes - 1 - i for i in range(self.num_cpus)]
 
     @property
     def l1_sets(self) -> int:
@@ -179,11 +272,19 @@ class SystemConfig:
 
     # --- serialization (scenario cache keys, worker-process boundary) ---
     def to_dict(self) -> dict:
-        """JSON-ready dict of every field; enums become their values."""
+        """JSON-ready dict of every field; enums become their values.
+
+        ``hierarchy`` is omitted when unset (the default Table 5.1 shape):
+        configs that never opted into an explicit fabric keep their exact
+        historical serialization, so cached results and regenerated
+        artifacts stay byte-identical.
+        """
         out = {}
         for f in fields(self):
             value = getattr(self, f.name)
             out[f.name] = value.value if isinstance(value, enum.Enum) else value
+        if out["hierarchy"] is None:
+            del out["hierarchy"]
         return out
 
     @staticmethod

@@ -1,16 +1,20 @@
 """System assembly: the integrated, tightly coupled CPU-GPU simulator.
 
 Mirrors the methodology of Chapter 5: 1 CPU core and up to 15 GPU SMs
-uniformly distributed on a 4x4 mesh, a private L1 per core, a banked NUCA
-L2 shared by everyone (one bank per mesh node), atomics serviced at the L2,
-and a data-race-free consistency model expressed through acquire/release
-operations.  GSI hangs off the SMs' issue stages through
+uniformly distributed on a 4x4 mesh, a data-race-free consistency model
+expressed through acquire/release operations, and a memory hierarchy
+elaborated from the config's :class:`~repro.mem.hierarchy.HierarchySpec`
+-- by default the paper's shape: a private L1 per core and a banked NUCA
+L2 shared by everyone (one bank per mesh node), atomics serviced at the
+L2.  Non-default specs stack private/cluster levels inside each core and
+chain deeper shared levels (an L3, ...) behind the directory.  GSI hangs
+off the SMs' issue stages through
 :class:`repro.core.attribution.Inspector`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.attribution import Inspector
 from repro.core.breakdown import StallBreakdown
@@ -19,9 +23,11 @@ from repro.cpu.core import CpuCore
 from repro.gpu.kernel import Kernel
 from repro.gpu.sm import SM
 from repro.gpu.tb_scheduler import ThreadBlockScheduler
+from repro.mem.cache import SetAssocCache
 from repro.mem.coherence import make_protocol
 from repro.mem.coherence.denovo import DeNovoCoherence
 from repro.mem.dma import DmaEngine
+from repro.mem.hierarchy import SharedCacheLevel, Sharing
 from repro.mem.l1 import L1Controller
 from repro.mem.l2 import L2Cache
 from repro.mem.main_memory import Dram, GlobalMemory
@@ -116,7 +122,34 @@ class System(Component):
         self.memory = GlobalMemory()
         self.dram = Dram(latency=config.dram_latency, channels=config.dram_channels)
         self.add_child(self.dram)
-        self.l2 = L2Cache(config, self.mesh, self.memory, self.dram)
+
+        # --- hierarchy fabric elaboration ------------------------------
+        # The spec (explicit, or Table 5.1 derived from the flat fields)
+        # splits into core-side levels -- stacked inside each core's
+        # L1Controller below -- and global levels: the first global level
+        # is the directory/coherence point (kept on the historical
+        # ``self.l2`` attribute whatever the spec names it), deeper global
+        # levels chain behind its backside down to DRAM.
+        self.hierarchy = config.effective_hierarchy()
+        self.hierarchy.validate(
+            line_size=config.line_size, num_sms=config.num_sms
+        )
+        core_specs = self.hierarchy.core_levels
+        shared_specs = self.hierarchy.shared_levels
+        self.shared_levels: list[SharedCacheLevel] = [
+            SharedCacheLevel(spec, config.line_size, self.mesh, depth=i + 1)
+            for i, spec in enumerate(shared_specs[1:])
+        ]
+        for level in self.shared_levels:
+            self.add_child(level)
+        self.l2 = L2Cache(
+            config,
+            self.mesh,
+            self.memory,
+            self.dram,
+            spec=shared_specs[0],
+            next_levels=self.shared_levels,
+        )
         self.add_child(self.l2)
         self.inspector = Inspector(
             config.num_sms,
@@ -126,20 +159,52 @@ class System(Component):
         gpu_protocol = make_protocol(config.protocol)
         cpu_protocol = DeNovoCoherence()  # the CPU cache always uses DeNovo
 
-        # Node placement: SMs at nodes 0..num_sms-1, CPUs from the top end.
-        self.sm_nodes = list(range(config.num_sms))
-        self.cpu_nodes = [
-            config.num_nodes - 1 - i for i in range(config.num_cpus)
+        # Node placement: SMs at nodes 0..num_sms-1, CPUs from the top end
+        # (computed -- and overlap-checked -- by the config itself).
+        self.sm_nodes = config.sm_nodes
+        self.cpu_nodes = config.cpu_nodes
+
+        # Cluster-shared tag arrays: one instance per (level, cluster of
+        # cluster_size adjacent SMs), handed to every member's stack.
+        cluster_tags: dict[tuple[str, int], object] = {}
+
+        def _cluster_tags_for(sm_id: int) -> dict:
+            shared = {}
+            for spec in core_specs:
+                if spec.sharing is not Sharing.CLUSTER:
+                    continue
+                key = (spec.name, sm_id // spec.cluster_size)
+                tags = cluster_tags.get(key)
+                if tags is None:
+                    tags = cluster_tags[key] = SetAssocCache(
+                        spec.size // (config.line_size * spec.assoc),
+                        spec.assoc,
+                        name=spec.name,
+                    )
+                shared[spec.name] = tags
+            return shared
+
+        #: CPU cores elaborate every core-side level privately (a CPU is
+        #: not part of the SM cluster grid).
+        cpu_specs = [
+            replace(spec, sharing=Sharing.PRIVATE, cluster_size=0)
+            if spec.sharing is Sharing.CLUSTER
+            else spec
+            for spec in core_specs
         ]
-        overlap = set(self.sm_nodes) & set(self.cpu_nodes)
-        if overlap:
-            raise ValueError("SM/CPU node placement overlaps: %s" % sorted(overlap))
 
         self._l1_by_node: dict[int, L1Controller] = {}
         self.sms: list[SM] = []
         for sm_id, node in enumerate(self.sm_nodes):
             l1 = L1Controller(
-                node, config, self.mesh, self.l2.node_of_line, gpu_protocol, self.memory
+                node,
+                config,
+                self.mesh,
+                self.l2.node_of_line,
+                gpu_protocol,
+                self.memory,
+                levels=core_specs,
+                shared_tags=_cluster_tags_for(sm_id),
             )
             self._l1_by_node[node] = l1
             scratchpad = dma = stash = None
@@ -174,7 +239,13 @@ class System(Component):
         self.cpus: list[CpuCore] = []
         for cpu_id, node in enumerate(self.cpu_nodes):
             l1 = L1Controller(
-                node, config, self.mesh, self.l2.node_of_line, cpu_protocol, self.memory
+                node,
+                config,
+                self.mesh,
+                self.l2.node_of_line,
+                cpu_protocol,
+                self.memory,
+                levels=cpu_specs,
             )
             self._l1_by_node[node] = l1
             cpu = CpuCore(cpu_id, node, l1)
@@ -297,20 +368,29 @@ class System(Component):
         rides along on in-process results as ``SimResult.stats_tree``.
         """
         snap = self.stats()
-        return legacy_stats_view(snap, [sm.name for sm in self.sms])
+        return legacy_stats_view(
+            snap, [sm.name for sm in self.sms], directory=self.l2.name
+        )
 
 
 def legacy_stats_view(
-    snap: StatsSnapshot, sm_names: "list[str] | None" = None
+    snap: StatsSnapshot,
+    sm_names: "list[str] | None" = None,
+    directory: str = "l2",
 ) -> dict[str, dict]:
-    """Project a ``system`` stats snapshot onto the flat legacy schema."""
+    """Project a ``system`` stats snapshot onto the flat legacy schema.
+
+    ``directory`` names the shared directory-level component; the flat
+    schema always reports it under the frozen ``"l2"`` key, whatever the
+    hierarchy spec called the level.
+    """
     if sm_names is None:
         sm_names = sorted(
             (n for n in snap.children if n.startswith("sm")),
             key=lambda n: int(n[2:]),
         )
     mesh = snap["mesh"]
-    l2 = snap["l2"]
+    l2 = snap[directory]
     stats: dict[str, dict] = {
         "mesh": {k: mesh[k] for k in ("messages", "avg_hops", "avg_latency")},
         "l2": {

@@ -14,8 +14,15 @@ event order -- and with it every mesh/L2/DRAM arbitration decision -- is
 identical under the recorded configuration.  That is what makes replayed
 memory-side statistics *exactly* equal to the execution-driven run's.
 
-Under a perturbed configuration (an MSHR/store-buffer/protocol/mesh sweep
-over one trace) the injectors become elastic: each stream stays in issue
+Replay is fabric-agnostic: the system is elaborated from whatever
+memory-hierarchy spec the (possibly overridden) configuration carries, and
+each SM stream is injected at the *first level of that fabric* -- the same
+``load_line``/``store_line``/``atomic`` boundary the LSU uses -- so a
+recorded trace can be replayed onto a shared-L3, private-L2 or L1-bypass
+machine (``hierarchy`` is just another override).
+
+Under a perturbed configuration (an MSHR/store-buffer/protocol/mesh/
+hierarchy sweep over one trace) the injectors become elastic: each stream stays in issue
 order, an operation never injects before its recorded cycle, structural
 back-pressure (MSHR/store-buffer full, matching the LSU's admission rules)
 delays it past that cycle, release semantics gate younger operations on the

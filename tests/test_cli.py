@@ -66,6 +66,36 @@ class TestRun:
         assert main(["run", "implicit_stash", "--warps", "4"]) == 0
         assert "implicit_stash" in capsys.readouterr().out
 
+    def test_run_with_set_overrides(self, capsys):
+        assert main(
+            ["run", "streaming", "--sms", "2", "--set", "l2_banks=8",
+             "--set", "hop_latency=5"]
+        ) == 0
+        assert "execution:" in capsys.readouterr().out
+
+    def test_run_bad_set_override_exits_2(self, capsys):
+        assert main(["run", "streaming", "--set", "l2_banks=7"]) == 2
+        assert "power of two" in capsys.readouterr().err
+        assert main(["run", "streaming", "--set", "nonsense"]) == 2
+        assert "FIELD=VALUE" in capsys.readouterr().err
+
+    def test_run_with_hierarchy_file(self, tmp_path, capsys):
+        from repro.mem.hierarchy import example_shapes
+
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps(example_shapes()["l1-bypass"]))
+        assert main(
+            ["run", "streaming", "--sms", "2", "--hierarchy", str(path)]
+        ) == 0
+        assert "execution:" in capsys.readouterr().out
+
+    def test_run_with_bad_hierarchy_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"levels": []}))
+        assert main(["run", "streaming", "--hierarchy", str(path)]) == 2
+        assert "non-empty 'levels'" in capsys.readouterr().err
+        assert main(["run", "streaming", "--hierarchy", "missing.json"]) == 2
+
 
 class TestSweep:
     @pytest.fixture

@@ -48,16 +48,33 @@ class TestDefaultsMatchTable51:
 
 class TestValidation:
     def test_mesh_capacity(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="grow mesh_rows/mesh_cols"):
             SystemConfig(num_sms=20)
 
+    def test_mesh_shape(self):
+        with pytest.raises(ValueError, match="at least 1x1"):
+            SystemConfig(mesh_rows=0, num_sms=0, num_cpus=0)
+
+    def test_negative_core_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SystemConfig(num_sms=-1)
+
     def test_line_size_power_of_two(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="power of two"):
             SystemConfig(line_size=48)
 
     def test_l1_geometry(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="multiple of line_size"):
             SystemConfig(l1_size=1000)
+
+    def test_l2_geometry(self):
+        with pytest.raises(ValueError, match="l2_size"):
+            SystemConfig(l2_size=4 * 1024 * 1024 + 64)
+
+    def test_bank_and_assoc_powers_of_two(self):
+        for field_name in ("l1_assoc", "l1_banks", "l2_assoc", "l2_banks"):
+            with pytest.raises(ValueError, match=field_name):
+                SystemConfig(**{field_name: 3})
 
     def test_positive_entries(self):
         with pytest.raises(ValueError):
@@ -69,6 +86,12 @@ class TestValidation:
         with pytest.raises(ValueError):
             SystemConfig(warp_scheduler="fifo")
         SystemConfig(warp_scheduler="gto")  # ok
+
+    def test_bad_hierarchy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="no global level"):
+            SystemConfig(hierarchy={"levels": [{"name": "l1"}]})
+        with pytest.raises(ValueError, match="non-empty 'levels'"):
+            SystemConfig(hierarchy={"levels": []})
 
 
 class TestSerialization:

@@ -86,6 +86,7 @@ class TestRunner:
             "fig6.2",
             "fig6.3",
             "fig6.4",
+            "hierarchy",
             "overhead",
         }
 
