@@ -1,0 +1,125 @@
+"""CI perf gate: diff fresh cycles/sec against the committed trajectory.
+
+Compares a freshly measured ``BENCH_engine.json`` (produced by pointing
+``REPRO_BENCH_ENGINE`` at an empty path for one benchmark session, so it
+contains *only* rows measured in that session) against the committed
+artifact, row by row.  Rows are matched by scenario key -- the stable hash
+of the simulation inputs -- so renames and unrelated rows never pair up.
+
+A row regresses when ``fresh < tolerance * committed`` cycles/sec.  The
+default tolerance is deliberately generous: CI runners differ from the
+machines the trajectory was recorded on, and the gate exists to catch
+engine-hot-loop collapses (the failure mode PR 2's overhaul guards
+against), not 10% jitter.  Exits non-zero on any regression, or when the
+two artifacts share no rows at all (a silent no-op gate is worse than a
+loud one).
+
+Usage::
+
+    python benchmarks/perf_gate.py --fresh fresh.json \
+        [--committed benchmarks/artifacts/BENCH_engine.json] [--tolerance 0.35]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path: str) -> dict:
+    """Scenario-key -> row map of a BENCH_engine artifact."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    out = {}
+    for entry in payload.get("scenarios", []):
+        key = entry.get("key") or entry.get("scenario")
+        if key and entry.get("cycles_per_sec"):
+            out[key] = entry
+    return out
+
+
+def compare(fresh: dict, committed: dict, tolerance: float) -> tuple:
+    """Returns (report lines, regression lines) for the overlapping rows."""
+    lines = []
+    regressions = []
+    overlap = sorted(set(fresh) & set(committed), key=lambda k: fresh[k]["scenario"])
+    for key in overlap:
+        got = fresh[key]["cycles_per_sec"]
+        want = committed[key]["cycles_per_sec"]
+        ratio = got / want if want else float("inf")
+        verdict = "ok"
+        if ratio < tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                "%s: %.0f cycles/sec < %.0f%% of committed %.0f"
+                % (fresh[key]["scenario"], got, 100 * tolerance, want)
+            )
+        lines.append(
+            "  %-45s %10.0f vs %10.0f cyc/s  (%5.2fx)  %s"
+            % (fresh[key]["scenario"], got, want, ratio, verdict)
+        )
+    for key in sorted(set(fresh) - set(committed)):
+        lines.append(
+            "  %-45s %10.0f cyc/s  (new row; commit the refreshed artifact)"
+            % (fresh[key]["scenario"], fresh[key]["cycles_per_sec"])
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        help="BENCH_engine.json from this run's benchmark session",
+    )
+    parser.add_argument(
+        "--committed",
+        default="benchmarks/artifacts/BENCH_engine.json",
+        help="committed perf-trajectory artifact",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="fail when fresh < tolerance * committed (default: 0.35)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.tolerance <= 1:
+        parser.error("--tolerance must be in (0, 1]")
+    try:
+        fresh = load_rows(args.fresh)
+        committed = load_rows(args.committed)
+    except (OSError, ValueError) as exc:
+        print("perf gate error: %s" % exc, file=sys.stderr)
+        return 2
+    if not fresh:
+        print("perf gate error: %s has no measured rows" % args.fresh, file=sys.stderr)
+        return 2
+    lines, regressions = compare(fresh, committed, args.tolerance)
+    overlap = len(set(fresh) & set(committed))
+    print(
+        "perf gate: %d fresh row(s), %d overlapping committed row(s), "
+        "tolerance %.0f%%" % (len(fresh), overlap, 100 * args.tolerance)
+    )
+    for line in lines:
+        print(line)
+    if not overlap:
+        print(
+            "perf gate error: no overlapping rows -- the gate compared "
+            "nothing; regenerate the committed artifact",
+            file=sys.stderr,
+        )
+        return 2
+    if regressions:
+        print("perf gate FAILED: %d regression(s)" % len(regressions), file=sys.stderr)
+        for line in regressions:
+            print("  " + line, file=sys.stderr)
+        return 1
+    print("perf gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@
 """
 
 from repro.core.stall_types import MemStructCause, StallType
-from repro.sim.config import Protocol, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.system import run_workload
 from repro.workloads.implicit import ImplicitScratchpad
 from repro.workloads.synthetic import StreamingWorkload

@@ -1,0 +1,24 @@
+"""Campaign benchmark: the full fleet cross-product as one timed batch.
+
+Runs the stock workload-fleet campaign (5 workloads x 2 hierarchies x
+2 protocols) through the executor; the conftest's record hook turns every
+cell into a BENCH_engine.json perf-trajectory row, so campaign scenarios
+are guarded by the CI perf gate alongside the fig-6.x rows.
+"""
+
+from repro.experiments.campaign import default_campaign, run_campaign
+
+from benchmarks.conftest import run_once
+
+
+def test_fleet_campaign_matrix(benchmark, show):
+    spec = default_campaign(fast=False)
+    result = run_once(benchmark, lambda: run_campaign(spec))
+    show(result.render())
+    w, h, p = spec.shape()
+    assert len(result.records) == w * h * p == 20
+    assert all(r.ok for r in result.records)
+    # every cell simulated something and attributed every cycle
+    for record in result.records:
+        assert record.result.cycles > 0
+        assert record.result.breakdown.total_cycles > 0

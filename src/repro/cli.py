@@ -1,4 +1,4 @@
-"""Command-line interface: run, sweep, record and replay workloads under GSI.
+"""Command-line interface: run, sweep, campaign, record/replay under GSI.
 
 Examples::
 
@@ -7,7 +7,11 @@ Examples::
     python -m repro run utsd --timeline 512 --energy
     python -m repro run uts --protocol gpu --set l2_banks=8 --set hop_latency=5
     python -m repro run uts --hierarchy shapes/shared_l3.json
+    python -m repro run spmv --nodes 128 --warps 4
     python -m repro sweep my_sweep.json --jobs 4 --format json --cache .sim-cache
+    python -m repro campaign --fast --jobs 4 --cache .sim-cache
+    python -m repro campaign --workloads spmv,bfs --protocols denovo --out results/
+    python -m repro campaign --spec my_campaign.json --format csv
     python -m repro trace record uts --nodes 100 -o uts.gsitrace
     python -m repro trace replay uts.gsitrace --verify
     python -m repro trace replay uts.gsitrace --mshr 8 --store-buffer 8
@@ -21,6 +25,10 @@ topology -- shared L3s, private L2s, L1 bypass, cluster sharing -- a
 first-class run/record/sweep axis.  ``--set FIELD=VALUE`` overrides any
 ``SystemConfig`` field on ``run``/``record``, exactly as it already did on
 ``trace replay``.
+
+``campaign`` runs a whole workload-fleet x hierarchy x protocol cross
+product through the cached parallel executor and prints the stall
+attribution matrix; see the README's "Campaigns" section.
 """
 
 from __future__ import annotations
@@ -77,6 +85,13 @@ WORKLOADS: dict[str, Callable] = {
     "stencil": _by_name("stencil_scratchpad", warps_per_tb="warps"),
     "reduction": _by_name("reduction", warps_per_tb="warps"),
     "streaming": _by_name("streaming", warps_per_tb="warps"),
+    "pointer_chase": _by_name("pointer_chase", warps_per_tb="warps"),
+    # the campaign fleet (see repro.experiments.campaign)
+    "spmv": _by_name("spmv", num_rows="nodes", warps_per_tb="warps"),
+    "histogram": _by_name("histogram", warps_per_tb="warps"),
+    "matmul_tiled": _by_name("matmul_tiled", warps_per_tb="warps"),
+    "transpose": _by_name("transpose", warps_per_tb="warps"),
+    "gups": _by_name("gups", warps_per_tb="warps"),
 }
 
 
@@ -152,6 +167,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the report to FILE")
     sweep.add_argument("--cache", metavar="DIR", default=None,
                        help="on-disk scenario result cache")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a workload-fleet x hierarchy x protocol stall campaign",
+    )
+    campaign.add_argument("--spec", metavar="FILE", default=None,
+                          help="campaign spec file (JSON/YAML); default: the "
+                               "built-in fleet campaign")
+    campaign.add_argument("--fast", action="store_true",
+                          help="reduced workload sizes (CI-friendly)")
+    campaign.add_argument("--workloads", metavar="A,B", default=None,
+                          help="comma-separated workload subset")
+    campaign.add_argument("--hierarchies", metavar="A,B", default=None,
+                          help="comma-separated hierarchy subset")
+    campaign.add_argument("--protocols", metavar="A,B", default=None,
+                          help="comma-separated protocol subset")
+    campaign.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes (default: 1)")
+    campaign.add_argument("--format", choices=["text", "json", "csv"],
+                          default="text", dest="fmt")
+    campaign.add_argument("--out", metavar="DIR", default=None,
+                          help="write <name>.{txt,json,csv} into DIR")
+    campaign.add_argument("--cache", metavar="DIR", default=None,
+                          help="on-disk scenario result cache (a repeated "
+                               "campaign is served entirely from it)")
 
     run = sub.add_parser("run", help="run one workload and print the breakdown")
     _add_sim_options(run)
@@ -277,6 +317,48 @@ def cmd_sweep(args) -> int:
             print("  " + line, file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_campaign(args) -> int:
+    import json
+
+    from repro.experiments.campaign import (
+        default_campaign,
+        load_campaign,
+        run_campaign,
+        write_artifacts,
+    )
+
+    if args.spec and args.fast:
+        print("error: --fast scales the built-in fleet campaign only; size "
+              "a --spec campaign in its file instead", file=sys.stderr)
+        return 2
+    try:
+        spec = load_campaign(args.spec) if args.spec else default_campaign(args.fast)
+        spec = spec.subset(
+            workloads=args.workloads.split(",") if args.workloads else None,
+            hierarchies=args.hierarchies.split(",") if args.hierarchies else None,
+            protocols=args.protocols.split(",") if args.protocols else None,
+        )
+        result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache)
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif args.fmt == "csv":
+        print(result.to_csv(), end="")
+    else:
+        print(result.render())
+    if args.out:
+        try:
+            for path in write_artifacts(result, args.out):
+                print("wrote %s" % path, file=sys.stderr)
+        except OSError as exc:
+            print("error: cannot write artifacts: %s" % exc, file=sys.stderr)
+            return 2
+    violations = [r for r in result.records if not r.ok]
+    return 1 if violations else 0
 
 
 def _parse_override(text: str):
@@ -410,6 +492,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     if args.command == "trace":
         return cmd_trace(args)
     return cmd_run(args)

@@ -19,7 +19,7 @@ Section 4.2 describes a two-stage attribution:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.core.stall_types import CYCLE_PRIORITY, StallType
 

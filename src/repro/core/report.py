@@ -188,6 +188,61 @@ def format_stats_tree(snapshot, _depth: int = 0) -> str:
     return "\n".join(lines)
 
 
+#: campaign-matrix attribution columns: label -> stall types aggregated
+MATRIX_COLUMNS: tuple[tuple[str, tuple[StallType, ...]], ...] = (
+    ("no_stall", (StallType.NO_STALL,)),
+    ("mem_data", (StallType.MEM_DATA,)),
+    ("mem_struct", (StallType.MEM_STRUCT,)),
+    ("sync", (StallType.SYNC,)),
+    ("compute", (StallType.COMP_DATA, StallType.COMP_STRUCT)),
+    ("other", (StallType.IDLE, StallType.CONTROL)),
+)
+
+
+def matrix_attribution(breakdown: StallBreakdown) -> dict[str, float]:
+    """Campaign attribution for one cell: column label -> fraction of the
+    cell's own total cycles (the per-workload MEM_DATA/MEM_STRUCT/compute
+    split the campaign matrix reports)."""
+    total = max(1, breakdown.total_cycles)
+    return {
+        label: sum(breakdown.counts[s] for s in stalls) / total
+        for label, stalls in MATRIX_COLUMNS
+    }
+
+
+def format_campaign_matrix(
+    rows: Sequence[Mapping],
+    title: str = "stall-attribution matrix",
+) -> str:
+    """Tabulate campaign cells: one row per workload x hierarchy x protocol.
+
+    Each ``rows`` entry carries ``workload``/``hierarchy``/``protocol``
+    display labels, ``cycles`` and a :class:`StallBreakdown`.  Percentages
+    are of each row's own total cycles (unlike the per-figure tables, which
+    normalize to a baseline configuration: a campaign has no baseline).
+    """
+    out = io.StringIO()
+    out.write("%s (%% of each row's cycles)\n" % title)
+    wl_w = max([len("workload")] + [len(r["workload"]) for r in rows]) + 2
+    hi_w = max([len("hierarchy")] + [len(r["hierarchy"]) for r in rows]) + 2
+    header = "%-*s%-*s%-9s%10s" % (wl_w, "workload", hi_w, "hierarchy", "protocol", "cycles")
+    header += "".join("%11s" % label for label, _ in MATRIX_COLUMNS)
+    header += "  dominant"
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for r in rows:
+        bd = r["breakdown"]
+        frac = matrix_attribution(bd)
+        top = max(STALL_ORDER, key=lambda s: bd.counts[s])
+        line = "%-*s%-*s%-9s%10d" % (
+            wl_w, r["workload"], hi_w, r["hierarchy"], r["protocol"], r["cycles"],
+        )
+        line += "".join("%10.1f%%" % (100.0 * frac[label]) for label, _ in MATRIX_COLUMNS)
+        line += "  %s" % top.value
+        out.write(line + "\n")
+    return out.getvalue()
+
+
 def summarize(name: str, breakdown: StallBreakdown) -> str:
     """One-line digest used by examples and logs."""
     total = breakdown.total_cycles

@@ -100,6 +100,14 @@ def _run_hierarchy(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     return _figure_artifact("hierarchy", result)
 
 
+def _run_campaign(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
+    from repro.experiments import campaign
+
+    spec = campaign.default_campaign(fast)
+    result = campaign.run_campaign(spec, jobs=jobs, cache_dir=cache_dir)
+    return Artifact("campaign", result.render(), result.to_dict(), result.to_csv())
+
+
 def _run_overhead(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
     stats = figures.overhead_experiment(repeats=1 if fast else 3)
     text = (
@@ -120,6 +128,7 @@ EXPERIMENTS: dict[str, Callable[[bool, int, str | None], Artifact]] = {
     "fig6.3": _run_fig63,
     "fig6.4": _run_fig64,
     "hierarchy": _run_hierarchy,
+    "campaign": _run_campaign,
     "overhead": _run_overhead,
 }
 

@@ -15,7 +15,7 @@ matching the paper's data-race-free consistency model) and with thread-block
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 

@@ -15,8 +15,8 @@ run on one SM and occupy it until they complete.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Generator, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.gpu.instruction import Instruction
 

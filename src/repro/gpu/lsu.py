@@ -20,7 +20,7 @@ rejection reason returned by :meth:`Lsu.check`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.component import Component
@@ -149,6 +149,11 @@ class Lsu(Component):
             )
             free = self.l1.mshr.capacity - self.l1.mshr.occupancy
             if need > free:
+                if need > self.l1.mshr.capacity and self.l1.mshr.occupancy == 0:
+                    # Oversized gather: can never fit at once.  Admit it
+                    # against an idle MSHR; the SM issues it in waves
+                    # (see SM._issue_global_load) instead of deadlocking.
+                    return None
                 self.l1.mshr.note_rejection()
                 return self._reject(MemStructCause.MSHR_FULL)
             return None

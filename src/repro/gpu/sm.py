@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.attribution import SmAttribution
@@ -92,6 +93,12 @@ class SM(Component):
         # Re-evaluate whenever an MSHR entry or store-buffer slot frees:
         # a warp sleeping on a structural stall may now be issuable.
         l1.resource_freed_hooks.append(self.wake)
+        #: in-flight oversized-gather waves (SM._issue_global_load); fed on
+        #: every resource free so a competing consumer (the DMA refill
+        #: hook runs first, at index 0) cannot strand a wave whose own
+        #: completions found the MSHR stolen.
+        self._gather_waves: list[Callable[[], None]] = []
+        l1.resource_freed_hooks.append(self._feed_gather_waves)
         self.scheduler = make_scheduler(config.warp_scheduler)
         self._issue_width = config.issue_width
         self.warps: list[Warp] = []
@@ -311,13 +318,45 @@ class SM(Component):
             warp.value_producer = ("mem", group.tag)
         else:
             self._advance(warp, None)
-        for line in lines:
-            self.l1.load_line(
-                line,
-                lambda loc, _rid, g=group, w=warp, i=instr: self._group_line_done(
-                    w, i, g, loc
-                ),
-            )
+        if len(lines) <= self.l1.mshr.capacity:
+            for line in lines:
+                self.l1.load_line(
+                    line,
+                    lambda loc, _rid, g=group, w=warp, i=instr: self._group_line_done(
+                        w, i, g, loc
+                    ),
+                )
+            return
+        # Oversized gather: more distinct lines than the MSHR holds (the
+        # LSU admitted it against an idle MSHR).  Issue in waves -- each
+        # completion frees our own entry, so the next pending line usually
+        # goes out inside that completion event.  The wave also registers
+        # with the resource-freed feeder: the DMA refill hook (hooked in at
+        # index 0) may steal the freed slot, and without the feeder a wave
+        # whose last in-flight line completed that way would never restart.
+        pending = deque(lines)
+
+        def issue_wave() -> None:
+            while pending and (
+                self.l1.cache.contains(pending[0])
+                or self.l1.mshr_can_allocate(pending[0])
+            ):
+                self.l1.load_line(pending.popleft(), on_line)
+            if not pending and issue_wave in self._gather_waves:
+                self._gather_waves.remove(issue_wave)
+
+        def on_line(loc, _rid, g=group, w=warp, i=instr) -> None:
+            issue_wave()
+            self._group_line_done(w, i, g, loc)
+
+        self._gather_waves.append(issue_wave)
+        issue_wave()
+
+    def _feed_gather_waves(self) -> None:
+        """Resource-freed hook: push any stranded oversized-gather waves
+        forward (each wave unregisters itself once fully issued)."""
+        for wave in self._gather_waves[:]:
+            wave()
 
     def _group_line_done(
         self, warp: Warp, instr: Instruction, group: AccessGroup, loc: ServiceLocation
@@ -424,8 +463,7 @@ class SM(Component):
             sink = self.lsu.trace_sink
             if sink is not None:
                 sink.store(now, warp.ctx.warp_id, lines)
-            for line in lines:
-                self.l1.store_line(line)
+            self.l1.store_lines(lines)
         elif instr.space is Space.SCRATCH:
             assert self.scratchpad is not None
             if value is not None:

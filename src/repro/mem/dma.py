@@ -15,11 +15,10 @@ matter to the stall breakdown and are modelled faithfully:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.component import Component
-from repro.core.stall_types import ServiceLocation
 from repro.mem.l1 import L1Controller
 from repro.mem.scratchpad import Scratchpad
 from repro.noc.message import Message, MsgType, next_request_id

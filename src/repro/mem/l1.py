@@ -28,6 +28,7 @@ writes back once no level of the stack holds it.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from repro.core.component import Component
@@ -162,6 +163,12 @@ class L1Controller(Component):
         )
         self.add_child(self.store_buffer)
         self._drain_scheduled = False
+        #: overflow lines of an oversized store instruction (more
+        #: uncombinable lines than the buffer holds), drip-fed into the
+        #: buffer as slots free; flushes arriving while the queue is
+        #: non-empty wait here for program order.
+        self._deferred_stores: deque[int] = deque()
+        self._deferred_flushes: list[Callable[[], None]] = []
         #: owned lines evicted but whose writeback ack is still in flight;
         #: forwards are serviced from here to avoid protocol races.
         self.wb_pending: set[int] = set()
@@ -269,12 +276,31 @@ class L1Controller(Component):
     # Store path
     # ------------------------------------------------------------------
     def can_accept_store(self, line: int) -> bool:
+        if self._deferred_stores:
+            # An oversized burst's overflow is still queued; younger stores
+            # (even combinable or locally-completing ones) wait behind it,
+            # exactly as the LSU's aggregate admission makes them.
+            return False
+        return self._line_fits_store_path(line)
+
+    def _line_fits_store_path(self, line: int) -> bool:
+        """Room for one store line, ignoring the deferred-overflow queue
+        (internal: the queue's own drip-feed must not block on itself)."""
         if self.protocol.store_completes_locally(self._protocol_tags, line):
             return True
         return self.store_buffer.can_accept(line)
 
     def can_accept_stores(self, lines: list[int]) -> bool:
-        """Aggregate admission check for a multi-line store instruction."""
+        """Aggregate admission check for a multi-line store instruction.
+
+        An instruction with more uncombinable lines than the buffer holds
+        can never fit at once: it is admitted against an *idle* store path
+        and its overflow drip-fed as slots free (:meth:`store_lines`), so a
+        fully-uncoalesced scatter serializes through the buffer instead of
+        deadlocking the warp.
+        """
+        if self._deferred_stores:
+            return False  # an earlier oversized burst is still being fed
         need = 0
         for line in lines:
             if self.protocol.store_completes_locally(self._protocol_tags, line):
@@ -282,7 +308,32 @@ class L1Controller(Component):
             if self.store_buffer.has_combinable_entry(line):
                 continue
             need += 1
+        if need > self.store_buffer.capacity:
+            return self.store_buffer.occupancy == 0
         return need <= self.store_buffer.capacity - self.store_buffer.occupancy
+
+    def store_lines(self, lines: list[int]) -> None:
+        """Buffer one store instruction's lines (caller checks
+        :meth:`can_accept_stores`); overflow lines queue for the drip-feed."""
+        for i, line in enumerate(lines):
+            if not self._line_fits_store_path(line):
+                self._deferred_stores.extend(lines[i:])
+                return
+            self.store_line(line)
+
+    def _feed_deferred_stores(self) -> None:
+        """Move queued overflow lines into freed buffer slots, then release
+        any flush that was waiting on the queue (program order)."""
+        while self._deferred_stores and self._line_fits_store_path(
+            self._deferred_stores[0]
+        ):
+            self.store_line(self._deferred_stores.popleft())
+        if not self._deferred_stores and self._deferred_flushes:
+            flushes, self._deferred_flushes = self._deferred_flushes, []
+            for on_done in flushes:
+                self.store_buffer.flush(on_done)
+            if self.store_buffer.has_pending():
+                self._schedule_drain()
 
     def store_line(self, line: int, words: set[int] | None = None) -> None:
         """Buffer a store to ``line``.  Caller checks :meth:`can_accept_store`."""
@@ -341,12 +392,18 @@ class L1Controller(Component):
     def flush_store_buffer(self, on_done: Callable[[], None]) -> None:
         """Release-time flush: fire ``on_done`` when all writes are visible."""
         self.releases.value += 1
+        if self._deferred_stores:
+            # Overflow lines of an earlier store instruction are still
+            # queued; the flush covers them too, so it registers only once
+            # they have entered the buffer (program order).
+            self._deferred_flushes.append(on_done)
+            return
         self.store_buffer.flush(on_done)
         if self.store_buffer.has_pending():
             self._schedule_drain()
 
     def sb_empty(self) -> bool:
-        return self.store_buffer.is_empty()
+        return self.store_buffer.is_empty() and not self._deferred_stores
 
     @property
     def atomics_outstanding(self) -> int:
@@ -469,6 +526,7 @@ class L1Controller(Component):
             if new_state is not None:
                 self._install_fill(msg.line, new_state)
             self.store_buffer.ack(msg.line, seq=meta[1])
+            self._feed_deferred_stores()  # queued overflow lines go first
             for hook in self.resource_freed_hooks:
                 hook()  # a store-buffer slot just freed
         elif isinstance(meta, tuple) and meta and meta[0] == "wb":

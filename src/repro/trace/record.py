@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.stall_types import MEM_STRUCT_ORDER, MemStructCause, StallType
-from repro.sim.config import LocalMemory, SystemConfig
+from repro.sim.config import LocalMemory
 from repro.trace.format import (
     FLAG_ACQUIRE,
     FLAG_RELEASE,

@@ -43,6 +43,8 @@ remains live.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.core.breakdown import StallBreakdown
 from repro.core.stall_types import MEM_STRUCT_ORDER, ServiceLocation, StallType
 from repro.gpu.lsu import AccessGroup
@@ -211,6 +213,37 @@ class _SmInjector:
                 rep.resolve(t, g.final_loc or loc)
 
         li = self.line_i
+        if li == 0 and nlines > mshr.capacity:
+            # Oversized gather: execution admits it against an *idle* MSHR
+            # and issues in waves, feeding the next line inside each
+            # completion event (SM._issue_global_load); mirror both the
+            # admission and the wave pacing or the replay drifts.
+            need = sum(
+                1
+                for i in range(nlines)
+                if not cache.contains(flat[base + i])
+                and mshr.lookup(flat[base + i]) is None
+            )
+            if need > mshr.capacity:
+                if mshr.occupancy > 0:
+                    self.blocked_cycles["mshr_full"] += 1
+                    return False
+                pending = deque(flat[base + i] for i in range(nlines))
+
+                def issue_wave() -> None:
+                    while pending and (
+                        cache.contains(pending[0])
+                        or l1.mshr_can_allocate(pending[0])
+                    ):
+                        l1.load_line(pending.popleft(), on_wave_line)
+
+                def on_wave_line(loc, _rid) -> None:
+                    issue_wave()
+                    on_line(loc, _rid)
+
+                issue_wave()
+                self.group = None
+                return True
         while li < nlines:
             line = flat[base + li]
             if (
@@ -231,6 +264,17 @@ class _SmInjector:
         l1 = self.l1
         flat = self.events
         li = self.line_i
+        if li == 0 and nlines > l1.store_buffer.capacity:
+            # Oversized burst: execution admits it whole against an idle
+            # store path and drip-feeds the overflow on acks
+            # (L1Controller.store_lines); mirror that admission exactly or
+            # the replayed pacing drifts from the recording.
+            lines = [flat[base + i] for i in range(nlines)]
+            if not l1.can_accept_stores(lines):
+                self.blocked_cycles["store_buffer_full"] += 1
+                return False
+            l1.store_lines(lines)
+            return True
         while li < nlines:
             line = flat[base + li]
             if not l1.can_accept_store(line):

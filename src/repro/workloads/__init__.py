@@ -31,6 +31,13 @@ _BUILTINS: dict[str, tuple[str, str]] = {
     "lock_contention": ("repro.workloads.synthetic", "LockContentionWorkload"),
     "burst_store": ("repro.workloads.synthetic", "BurstStoreWorkload"),
     "idle_tail": ("repro.workloads.synthetic", "IdleTailWorkload"),
+    # the campaign fleet (repro.experiments.campaign): one archetypal
+    # memory behavior each, deterministic seeded inputs
+    "spmv": ("repro.workloads.fleet", "SpmvWorkload"),
+    "histogram": ("repro.workloads.fleet", "HistogramWorkload"),
+    "matmul_tiled": ("repro.workloads.fleet", "MatmulTiledWorkload"),
+    "transpose": ("repro.workloads.fleet", "TransposeWorkload"),
+    "gups": ("repro.workloads.fleet", "GupsWorkload"),
     # replay a recorded (or externally generated) trace file as a workload
     "trace": ("repro.trace.workload", "TraceReplayWorkload"),
 }

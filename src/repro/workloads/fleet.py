@@ -1,0 +1,580 @@
+"""Workload fleet: five memory-behavior archetypes for campaigns.
+
+The paper's thesis is that *where* memory stalls come from varies wildly
+across benchmarks, but the bundled case studies leave most of that space
+unexercised.  Each fleet member is engineered around one archetypal
+behavior, with deterministic seeded inputs so scenario cache keys, trace
+recordings and re-runs are byte-stable:
+
+* :class:`SpmvWorkload`        -- CSR sparse matrix-vector: irregular gathers.
+* :class:`HistogramWorkload`   -- few hot bins: atomic contention at the L2.
+* :class:`MatmulTiledWorkload` -- tiled GEMM: scratchpad staging and reuse.
+* :class:`TransposeWorkload`   -- coalesced reads, line-per-lane writes.
+* :class:`GupsWorkload`        -- seeded random table updates: latency bound.
+
+Together with the existing ``pointer_chase`` (dependent loads) and ``bfs``
+(frontier-driven, divergent) they form the default campaign fleet
+(:mod:`repro.experiments.campaign`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.gpu.instruction import Instruction, Space
+from repro.gpu.kernel import Kernel, WarpContext, uniform_grid
+from repro.sim.config import LocalMemory, SystemConfig
+from repro.workloads.base import (
+    REGION_ARRAY,
+    REGION_COUNTERS,
+    REGION_SCRATCH_OUT,
+    Workload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+_WORD = 4
+_MASK = 0xFFFF_FFFF
+
+
+class SpmvWorkload(Workload):
+    """CSR sparse matrix-vector product: ``y = A @ x``.
+
+    Row lengths and column indices come from a seeded RNG, so the gather
+    pattern is irregular but deterministic.  Each row: a coalesced read of
+    its column indices, an irregular per-lane gather of ``x[col]``, a MAC
+    chain, one result store.  Memory-data stalls from the gathers dominate.
+    """
+
+    name = "spmv"
+
+    def __init__(
+        self,
+        num_rows: int = 64,
+        avg_nnz: int = 8,
+        num_tbs: int = 2,
+        warps_per_tb: int = 2,
+        seed: int = 7,
+    ) -> None:
+        if num_rows < 1 or avg_nnz < 1:
+            raise ValueError("spmv needs num_rows >= 1 and avg_nnz >= 1")
+        self.num_rows = num_rows
+        self.avg_nnz = avg_nnz
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.seed = seed
+        rng = random.Random(seed)
+        # CSR structure: irregular row lengths around avg_nnz, columns drawn
+        # across the whole vector (the irregular-gather point of the kernel).
+        self.rows: list[list[int]] = [
+            [rng.randrange(num_rows) for _ in range(rng.randint(1, 2 * avg_nnz - 1))]
+            for _ in range(num_rows)
+        ]
+
+    # memory layout ------------------------------------------------------
+    def x_addr(self, col: int) -> int:
+        return REGION_ARRAY + col * _WORD
+
+    def col_addr(self, flat: int) -> int:
+        return REGION_ARRAY + 0x10_0000 + flat * _WORD
+
+    def y_addr(self, row: int) -> int:
+        return REGION_SCRATCH_OUT + row * _WORD
+
+    # ------------------------------------------------------------------
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        mem = system.memory
+        lines = set()
+        for col in range(self.num_rows):
+            mem.store_word(self.x_addr(col), (col * 1103 + 12289) & 0xFFFF)
+            lines.add(cfg.line_of(self.x_addr(col)))
+        flat = 0
+        row_start = []
+        for cols in self.rows:
+            row_start.append(flat)
+            for col in cols:
+                mem.store_word(self.col_addr(flat), col)
+                lines.add(cfg.line_of(self.col_addr(flat)))
+                flat += 1
+        system.l2.warm_lines(sorted(lines))
+
+        wl = self
+        total_warps = self.num_tbs * self.warps_per_tb
+
+        def factory(tb: int, w: int):
+            wid = tb * wl.warps_per_tb + w
+
+            def program(ctx: WarpContext):
+                for row in range(wid, wl.num_rows, total_warps):
+                    cols = wl.rows[row]
+                    acc = 0
+                    for c0 in range(0, len(cols), cfg.warp_size):
+                        chunk = cols[c0:c0 + cfg.warp_size]
+                        # coalesced read of the column indices ...
+                        yield Instruction.load(
+                            [wl.col_addr(row_start[row] + c0 + i)
+                             for i in range(len(chunk))],
+                            dst=1,
+                            tag="cols",
+                        )
+                        # ... then the irregular per-lane gather of x[col]
+                        yield Instruction.load(
+                            [wl.x_addr(col) for col in chunk], dst=2, tag="gather"
+                        )
+                        yield Instruction.alu(dst=3, srcs=(1, 2, 3), tag="mac")
+                        for col in chunk:
+                            acc += ctx.memory.load_word(wl.x_addr(col))
+                    yield Instruction.store(
+                        [wl.y_addr(row)], srcs=(3,), value=acc & _MASK, tag="y"
+                    )
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+    def verify(self, system: "System") -> bool:
+        mem = system.memory
+        for row, cols in enumerate(self.rows):
+            want = sum(mem.load_word(self.x_addr(col)) for col in cols) & _MASK
+            if mem.load_word(self.y_addr(row)) != want:
+                return False
+        return True
+
+
+class HistogramWorkload(Workload):
+    """Histogram over seeded data: every warp hammers a few shared bins.
+
+    Each chunk is one coalesced load followed by one fire-and-forget
+    ``atomic_add`` per distinct bin touched (warp-private pre-aggregation,
+    the standard GPU idiom).  With few bins every atomic from every SM
+    lands on the same handful of contended lines at the L2.
+    """
+
+    name = "histogram"
+
+    def __init__(
+        self,
+        num_tbs: int = 2,
+        warps_per_tb: int = 2,
+        elements_per_warp: int = 32,
+        num_bins: int = 8,
+        seed: int = 13,
+    ) -> None:
+        if num_bins < 1:
+            raise ValueError("histogram needs num_bins >= 1")
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.elements_per_warp = elements_per_warp
+        self.num_bins = num_bins
+        self.seed = seed
+
+    def bin_addr(self, b: int) -> int:
+        # one line per bin: contention is on the bin, not on false sharing
+        return REGION_COUNTERS + b * 64
+
+    def data_addr(self, wid: int, e: int, cfg: SystemConfig) -> int:
+        per_warp = self.elements_per_warp * cfg.warp_size * _WORD
+        return REGION_ARRAY + wid * per_warp + e * _WORD
+
+    def _values(self, wid: int, warp_size: int) -> list[int]:
+        rng = random.Random((self.seed << 16) ^ wid)
+        return [
+            rng.randrange(1 << 16)
+            for _ in range(self.elements_per_warp * warp_size)
+        ]
+
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        mem = system.memory
+        wl = self
+        lines = set()
+        values = {}
+        for tb in range(self.num_tbs):
+            for w in range(self.warps_per_tb):
+                wid = tb * self.warps_per_tb + w
+                vals = self._values(wid, cfg.warp_size)
+                values[wid] = vals
+                for e, v in enumerate(vals):
+                    mem.store_word(self.data_addr(wid, e, cfg), v)
+                    lines.add(cfg.line_of(self.data_addr(wid, e, cfg)))
+        system.l2.warm_lines(sorted(lines))
+        for b in range(self.num_bins):
+            mem.store_word(self.bin_addr(b), 0)
+
+        def factory(tb: int, w: int):
+            wid = tb * wl.warps_per_tb + w
+            vals = values[wid]
+
+            def program(ctx: WarpContext):
+                for e in range(wl.elements_per_warp):
+                    base = e * cfg.warp_size
+                    yield Instruction.load(
+                        [wl.data_addr(wid, base + i, cfg)
+                         for i in range(cfg.warp_size)],
+                        dst=1,
+                        tag="data",
+                    )
+                    counts: dict[int, int] = {}
+                    for v in vals[base:base + cfg.warp_size]:
+                        b = v % wl.num_bins
+                        counts[b] = counts.get(b, 0) + 1
+                    yield Instruction.alu(dst=2, srcs=(1,), tag="bin")
+                    for b in sorted(counts):
+                        yield Instruction.atomic_add(
+                            wl.bin_addr(b),
+                            counts[b],
+                            returns_value=False,
+                            tag="hist",
+                        )
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+    def verify(self, system: "System") -> bool:
+        cfg = system.config
+        want = [0] * self.num_bins
+        for wid in range(self.num_tbs * self.warps_per_tb):
+            for v in self._values(wid, cfg.warp_size):
+                want[v % self.num_bins] += 1
+        return all(
+            system.memory.load_word(self.bin_addr(b)) == want[b]
+            for b in range(self.num_bins)
+        )
+
+
+class MatmulTiledWorkload(Workload):
+    """Tiled ``C = A @ B``: the scratchpad-reuse archetype.
+
+    Each thread block owns one ``tile x tile`` block of C.  Per k-step the
+    block stages an A tile and a B tile into the scratchpad, barriers,
+    computes out of local memory (heavy scratchpad traffic -> MEM_STRUCT
+    bank conflicts), and barriers again before restaging.  With
+    ``use_scratchpad=False`` the same kernel reads A and B straight from
+    the global hierarchy (reuse through the L1), which also makes the
+    workload trace-recordable.
+    """
+
+    name = "matmul_tiled"
+
+    def __init__(
+        self,
+        n: int = 16,
+        tile: int = 8,
+        warps_per_tb: int = 2,
+        seed: int = 5,
+        use_scratchpad: bool = True,
+    ) -> None:
+        if n % tile:
+            raise ValueError("n must be a multiple of tile")
+        if tile % warps_per_tb:
+            raise ValueError("tile must be a multiple of warps_per_tb")
+        self.n = n
+        self.tile = tile
+        self.warps_per_tb = warps_per_tb
+        self.seed = seed
+        self.use_scratchpad = use_scratchpad
+
+    def configure(self, config: SystemConfig) -> SystemConfig:
+        if self.use_scratchpad:
+            return config.scaled(local_memory=LocalMemory.SCRATCHPAD)
+        return config
+
+    # memory layout ------------------------------------------------------
+    def a_addr(self, r: int, c: int) -> int:
+        return REGION_ARRAY + (r * self.n + c) * _WORD
+
+    def b_addr(self, r: int, c: int) -> int:
+        return REGION_ARRAY + 0x20_0000 + (r * self.n + c) * _WORD
+
+    def c_addr(self, r: int, c: int) -> int:
+        return REGION_SCRATCH_OUT + (r * self.n + c) * _WORD
+
+    def _scratch_a(self, r: int, k: int) -> int:
+        return (r * self.tile + k) * _WORD
+
+    def _scratch_b(self, k: int, c: int) -> int:
+        return (self.tile * self.tile + k * self.tile + c) * _WORD
+
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        mem = system.memory
+        wl = self
+        lines = set()
+        for r in range(self.n):
+            for c in range(self.n):
+                mem.store_word(self.a_addr(r, c), (r * 37 + c * 11 + self.seed) & 0xFF)
+                mem.store_word(self.b_addr(r, c), (r * 13 + c * 29 + self.seed) & 0xFF)
+                lines.add(cfg.line_of(self.a_addr(r, c)))
+                lines.add(cfg.line_of(self.b_addr(r, c)))
+        system.l2.warm_lines(sorted(lines))
+
+        tiles = self.n // self.tile
+        rows_per_warp = self.tile // self.warps_per_tb
+
+        def factory(tb: int, w: int):
+            by, bx = divmod(tb, tiles)
+            my_rows = range(w * rows_per_warp, (w + 1) * rows_per_warp)
+
+            def program(ctx: WarpContext):
+                for kt in range(tiles):
+                    if wl.use_scratchpad:
+                        # stage this warp's rows of the A and B tiles
+                        for lr in my_rows:
+                            yield Instruction.load(
+                                [wl.a_addr(by * wl.tile + lr, kt * wl.tile + k)
+                                 for k in range(wl.tile)],
+                                dst=1,
+                                tag="stage_a",
+                            )
+                            yield Instruction.store(
+                                [wl._scratch_a(lr, k) for k in range(wl.tile)],
+                                srcs=(1,),
+                                space=Space.SCRATCH,
+                            )
+                            yield Instruction.load(
+                                [wl.b_addr(kt * wl.tile + lr, bx * wl.tile + c)
+                                 for c in range(wl.tile)],
+                                dst=2,
+                                tag="stage_b",
+                            )
+                            yield Instruction.store(
+                                [wl._scratch_b(lr, c) for c in range(wl.tile)],
+                                srcs=(2,),
+                                space=Space.SCRATCH,
+                            )
+                        yield Instruction.barrier()
+                    for lr in my_rows:
+                        # one coalesced read of my A row, reused for every c
+                        if wl.use_scratchpad:
+                            yield Instruction.load(
+                                [wl._scratch_a(lr, k) for k in range(wl.tile)],
+                                dst=1,
+                                space=Space.SCRATCH,
+                                tag="a_row",
+                            )
+                        else:
+                            yield Instruction.load(
+                                [wl.a_addr(by * wl.tile + lr, kt * wl.tile + k)
+                                 for k in range(wl.tile)],
+                                dst=1,
+                                tag="a_row",
+                            )
+                        for c in range(wl.tile):
+                            # column of B: stride `tile` words -> scratchpad
+                            # bank conflicts (or an uncoalesced global
+                            # gather in the no-scratchpad variant)
+                            if wl.use_scratchpad:
+                                yield Instruction.load(
+                                    [wl._scratch_b(k, c) for k in range(wl.tile)],
+                                    dst=2,
+                                    space=Space.SCRATCH,
+                                    tag="b_col",
+                                )
+                            else:
+                                yield Instruction.load(
+                                    [wl.b_addr(kt * wl.tile + k, bx * wl.tile + c)
+                                     for k in range(wl.tile)],
+                                    dst=2,
+                                    tag="b_col",
+                                )
+                            yield Instruction.alu(dst=3, srcs=(1, 2, 3), tag="mac")
+                    if wl.use_scratchpad:
+                        yield Instruction.barrier()
+                # write this warp's rows of the C tile (functional reference
+                # computed against the untouched A/B inputs)
+                for lr in my_rows:
+                    r = by * wl.tile + lr
+                    for c in range(wl.tile):
+                        gc = bx * wl.tile + c
+                        acc = sum(
+                            ctx.memory.load_word(wl.a_addr(r, k))
+                            * ctx.memory.load_word(wl.b_addr(k, gc))
+                            for k in range(wl.n)
+                        )
+                        ctx.memory.store_word(wl.c_addr(r, gc), acc & _MASK)
+                    yield Instruction.store(
+                        [wl.c_addr(r, bx * wl.tile + c) for c in range(wl.tile)],
+                        srcs=(3,),
+                        tag="c",
+                    )
+
+            return program
+
+        return uniform_grid(
+            self.name,
+            tiles * tiles,
+            self.warps_per_tb,
+            factory,
+            warps_per_sm_limit=self.warps_per_tb if self.use_scratchpad else None,
+        )
+
+    def verify(self, system: "System") -> bool:
+        mem = system.memory
+        probes = [(0, 0), (1, self.tile - 1), (self.n - 1, self.n - 1)]
+        for r, c in probes:
+            want = sum(
+                mem.load_word(self.a_addr(r, k)) * mem.load_word(self.b_addr(k, c))
+                for k in range(self.n)
+            ) & _MASK
+            if mem.load_word(self.c_addr(r, c)) != want:
+                return False
+        return True
+
+
+class TransposeWorkload(Workload):
+    """Out-of-place ``B = A.T``: coalesced reads, line-per-lane writes.
+
+    Each warp reads rows of A with one coalesced load, then scatters the
+    lane values down a column of B -- every lane's store address lands on a
+    different cache line, so one warp instruction fans out into
+    ``warp_size`` line requests and piles into the store buffer and MSHR
+    (the memory-structural archetype without local memory involved).
+    """
+
+    name = "transpose"
+
+    def __init__(
+        self, n: int = 32, num_tbs: int = 2, warps_per_tb: int = 2, seed: int = 17
+    ) -> None:
+        if n < 1:
+            raise ValueError("transpose needs n >= 1")
+        self.n = n
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.seed = seed
+
+    def a_addr(self, r: int, c: int) -> int:
+        return REGION_ARRAY + (r * self.n + c) * _WORD
+
+    def b_addr(self, r: int, c: int) -> int:
+        return REGION_SCRATCH_OUT + (r * self.n + c) * _WORD
+
+    def build(self, system: "System") -> Kernel:
+        cfg = system.config
+        mem = system.memory
+        wl = self
+        lines = set()
+        for r in range(self.n):
+            for c in range(self.n):
+                mem.store_word(self.a_addr(r, c), (r * 251 + c * 7 + self.seed) & 0xFFFF)
+                lines.add(cfg.line_of(self.a_addr(r, c)))
+        system.l2.warm_lines(sorted(lines))
+        total_warps = self.num_tbs * self.warps_per_tb
+
+        def factory(tb: int, w: int):
+            wid = tb * wl.warps_per_tb + w
+
+            def program(ctx: WarpContext):
+                for r in range(wid, wl.n, total_warps):
+                    for c0 in range(0, wl.n, cfg.warp_size):
+                        nlanes = min(cfg.warp_size, wl.n - c0)
+                        yield Instruction.load(
+                            [wl.a_addr(r, c0 + i) for i in range(nlanes)],
+                            dst=1,
+                            tag="row",
+                        )
+                        for i in range(nlanes):
+                            ctx.memory.store_word(
+                                wl.b_addr(c0 + i, r),
+                                ctx.memory.load_word(wl.a_addr(r, c0 + i)),
+                            )
+                        # one store, warp_size distinct lines: the scatter
+                        yield Instruction.store(
+                            [wl.b_addr(c0 + i, r) for i in range(nlanes)],
+                            srcs=(1,),
+                            tag="scatter",
+                        )
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+    def verify(self, system: "System") -> bool:
+        mem = system.memory
+        probes = [(0, 0), (0, self.n - 1), (self.n - 1, 0), (3 % self.n, 5 % self.n)]
+        return all(
+            mem.load_word(self.b_addr(c, r)) == mem.load_word(self.a_addr(r, c))
+            for r, c in probes
+        )
+
+
+class GupsWorkload(Workload):
+    """Giga-updates-per-second style random table read-modify-writes.
+
+    Seeded random indices into a table far larger than any cache: every
+    update is a dependent load / mix / store to a cold line, so the
+    workload is bound by main-memory latency with essentially no reuse and
+    (unlike ``histogram``) no contention -- each warp owns a disjoint
+    slice of the table, as the HPCC benchmark's error budget effectively
+    permits.
+    """
+
+    name = "gups"
+
+    def __init__(
+        self,
+        table_words: int = 1 << 15,
+        updates_per_warp: int = 64,
+        num_tbs: int = 2,
+        warps_per_tb: int = 2,
+        seed: int = 29,
+    ) -> None:
+        if table_words < 1:
+            raise ValueError("gups needs table_words >= 1")
+        if table_words < num_tbs * warps_per_tb:
+            raise ValueError("gups needs at least one table word per warp")
+        self.table_words = table_words
+        self.updates_per_warp = updates_per_warp
+        self.num_tbs = num_tbs
+        self.warps_per_tb = warps_per_tb
+        self.seed = seed
+
+    def table_addr(self, idx: int) -> int:
+        return REGION_ARRAY + (idx % self.table_words) * _WORD
+
+    def _updates(self, wid: int) -> list[tuple[int, int]]:
+        """Deterministic (table index, delta) stream within this warp's
+        private slice of the table (no cross-warp races)."""
+        rng = random.Random((self.seed << 20) ^ wid)
+        warps = self.num_tbs * self.warps_per_tb
+        slice_words = self.table_words // warps
+        base = wid * slice_words
+        return [
+            (base + rng.randrange(slice_words), rng.randrange(1, 255))
+            for _ in range(self.updates_per_warp)
+        ]
+
+    def build(self, system: "System") -> Kernel:
+        wl = self
+
+        def factory(tb: int, w: int):
+            wid = tb * wl.warps_per_tb + w
+            updates = wl._updates(wid)
+
+            def program(ctx: WarpContext):
+                for idx, delta in updates:
+                    addr = wl.table_addr(idx)
+                    yield Instruction.load([addr], dst=1, tag="probe")
+                    yield Instruction.alu(dst=2, srcs=(1,), tag="mix")
+                    new = (ctx.memory.load_word(addr) + delta) & _MASK
+                    yield Instruction.store(
+                        [addr], srcs=(2,), value=new, tag="update"
+                    )
+
+            return program
+
+        return uniform_grid(self.name, self.num_tbs, self.warps_per_tb, factory)
+
+    def verify(self, system: "System") -> bool:
+        want: dict[int, int] = {}
+        for wid in range(self.num_tbs * self.warps_per_tb):
+            for idx, delta in self._updates(wid):
+                addr = self.table_addr(idx)
+                want[addr] = (want.get(addr, 0) + delta) & _MASK
+        return all(
+            system.memory.load_word(addr) == total for addr, total in want.items()
+        )

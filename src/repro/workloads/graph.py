@@ -20,7 +20,6 @@ from typing import TYPE_CHECKING
 
 from repro.gpu.instruction import Instruction
 from repro.gpu.kernel import Kernel, WarpContext, uniform_grid
-from repro.sim.config import SystemConfig
 from repro.workloads.base import (
     REGION_ARRAY,
     REGION_COUNTERS,

@@ -20,7 +20,7 @@ from repro.core.component import (
     StatHistogram,
     StatsSnapshot,
 )
-from repro.sim.config import LocalMemory, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.system import System, legacy_stats_view, run_workload
 from repro.workloads import make_workload
 

@@ -87,6 +87,7 @@ class TestRunner:
             "fig6.3",
             "fig6.4",
             "hierarchy",
+            "campaign",
             "overhead",
         }
 

@@ -16,7 +16,6 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.breakdown import StallBreakdown
 from repro.gpu.instruction import Instruction
 from repro.gpu.kernel import uniform_grid
 from repro.sim.config import Protocol, SystemConfig

@@ -14,7 +14,7 @@ from repro.experiments.spec import Scenario, Sweep
 from repro.mem.cache import LineState
 from repro.mem.coherence.denovo import DeNovoCoherence
 from repro.mem.coherence.gpu_coherence import GpuCoherence
-from repro.mem.hierarchy import CacheLevelSpec, HierarchySpec, Sharing, SharedCacheLevel
+from repro.mem.hierarchy import CacheLevelSpec, HierarchySpec, SharedCacheLevel
 from repro.mem.l1 import L1Controller
 from repro.mem.l2 import L2Cache
 from repro.mem.main_memory import Dram, GlobalMemory

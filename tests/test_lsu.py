@@ -4,8 +4,6 @@ Every rejection reason maps to one of Section 4.4's memory structural
 stall sub-classes; these tests pin the mapping and the check order.
 """
 
-import pytest
-
 from repro.core.stall_types import MemStructCause
 from repro.gpu.instruction import Instruction, Space
 from repro.gpu.lsu import AccessGroup, Lsu
@@ -65,8 +63,12 @@ class TestMshrAdmission:
         sys, lsu = make_lsu(cfg)
         # a 32-lane, 4B-stride load covers 2 lines: fits exactly
         assert lsu.check(warp_load(0x1000), now=0) is None
-        # 8B stride covers 4 lines: needs more entries than exist
+        # 8B stride covers 4 lines: more than the whole MSHR -- admitted
+        # only against an *idle* MSHR (issued in waves), rejected while
+        # anything is in flight.
         wide = warp_load(0x2000, stride=8)
+        assert lsu.check(wide, now=0) is None
+        sys.l1s[0].load_line(0x999, lambda loc, rid: None)
         assert lsu.check(wide, now=0) is MemStructCause.MSHR_FULL
 
     def test_full_mshr_blocks_head_of_line(self):
@@ -96,8 +98,19 @@ class TestStoreAdmission:
     def test_store_rejected_when_sb_lacks_room(self):
         cfg = SystemConfig(store_buffer_entries=2)
         sys, lsu = make_lsu(cfg)
+        # 4 lines > the whole buffer: admitted only against an *idle*
+        # store path (overflow drip-fed), rejected once anything occupies
+        # the buffer.
         store = Instruction.store([0x1000 + i * 64 for i in range(4)])
+        assert lsu.check(store, now=0) is None
+        sys.l1s[0].store_line(0x40)
         assert lsu.check(store, now=0) is MemStructCause.STORE_BUFFER_FULL
+        narrow = Instruction.store([0x2000, 0x2040])
+        assert lsu.check(narrow, now=0) is MemStructCause.STORE_BUFFER_FULL
+
+    def test_store_accepted_when_room_exists(self):
+        cfg = SystemConfig(store_buffer_entries=2)
+        sys, lsu = make_lsu(cfg)
         narrow = Instruction.store([0x1000, 0x1040])
         assert lsu.check(narrow, now=0) is None
 

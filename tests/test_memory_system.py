@@ -16,7 +16,7 @@ from repro.mem.l2 import L2Cache
 from repro.mem.main_memory import Dram, GlobalMemory
 from repro.noc.mesh import Mesh
 from repro.noc.message import MsgType
-from repro.sim.config import Protocol, SystemConfig
+from repro.sim.config import SystemConfig
 
 
 class MiniSystem:

@@ -1,0 +1,99 @@
+"""Tests for the CI perf gate (benchmarks/perf_gate.py): row matching by
+scenario key, tolerance-band regression detection, new-row reporting, and
+the loud failure on an empty comparison."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "perf_gate.py",
+)
+spec = importlib.util.spec_from_file_location("perf_gate", _GATE)
+perf_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perf_gate)
+
+
+def artifact(path, rows):
+    payload = {
+        "unit": "simulated GPU cycles per host second",
+        "scenarios": [
+            {"scenario": name, "key": key, "workload": "w",
+             "cycles": 1000, "wall_clock_s": 1.0, "cycles_per_sec": cps}
+            for name, key, cps in rows
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestLoadRows:
+    def test_keyed_by_scenario_key(self, tmp_path):
+        path = artifact(tmp_path / "a.json", [("s1", "k1", 100.0)])
+        assert set(perf_gate.load_rows(path)) == {"k1"}
+
+    def test_rows_without_rate_dropped(self, tmp_path):
+        path = artifact(tmp_path / "a.json",
+                        [("s1", "k1", 100.0), ("s2", "k2", None)])
+        assert set(perf_gate.load_rows(path)) == {"k1"}
+
+
+class TestGate:
+    def run(self, tmp_path, fresh_rows, committed_rows, tolerance="0.35"):
+        fresh = artifact(tmp_path / "fresh.json", fresh_rows)
+        committed = artifact(tmp_path / "committed.json", committed_rows)
+        return perf_gate.main(
+            ["--fresh", fresh, "--committed", committed, "--tolerance", tolerance]
+        )
+
+    def test_ok_within_tolerance(self, tmp_path, capsys):
+        rc = self.run(tmp_path,
+                      [("s1", "k1", 60.0), ("s2", "k2", 140.0)],
+                      [("s1", "k1", 100.0), ("s2", "k2", 100.0)])
+        assert rc == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        rc = self.run(tmp_path,
+                      [("s1", "k1", 20.0)],
+                      [("s1", "k1", 100.0)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_new_rows_reported_not_failed(self, tmp_path, capsys):
+        rc = self.run(tmp_path,
+                      [("s1", "k1", 90.0), ("new", "k9", 50.0)],
+                      [("s1", "k1", 100.0)])
+        assert rc == 0
+        assert "new row" in capsys.readouterr().out
+
+    def test_no_overlap_is_loud(self, tmp_path, capsys):
+        rc = self.run(tmp_path, [("s1", "k1", 90.0)], [("s2", "k2", 100.0)])
+        assert rc == 2
+        assert "no overlapping rows" in capsys.readouterr().err
+
+    def test_empty_fresh_is_loud(self, tmp_path, capsys):
+        rc = self.run(tmp_path, [], [("s1", "k1", 100.0)])
+        assert rc == 2
+
+    def test_missing_file(self, tmp_path, capsys):
+        rc = perf_gate.main(["--fresh", str(tmp_path / "nope.json")])
+        assert rc == 2
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        fresh = artifact(tmp_path / "f.json", [("s1", "k1", 1.0)])
+        with pytest.raises(SystemExit):
+            perf_gate.main(["--fresh", fresh, "--tolerance", "1.5"])
+
+
+class TestAgainstCommittedArtifact:
+    def test_committed_artifact_gates_itself(self, tmp_path, capsys):
+        """The tracked BENCH_engine.json compared against itself passes --
+        the exact configuration CI runs after refreshing rows."""
+        committed = os.path.join(os.path.dirname(_GATE), "artifacts",
+                                 "BENCH_engine.json")
+        rc = perf_gate.main(["--fresh", committed, "--committed", committed])
+        assert rc == 0

@@ -11,8 +11,6 @@ from repro.core.classifier import (
 )
 from repro.core.stall_types import (
     CYCLE_PRIORITY,
-    MemStructCause,
-    ServiceLocation,
     StallType,
 )
 from repro.mem.cache import LineState, SetAssocCache

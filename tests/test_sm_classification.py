@@ -11,7 +11,7 @@ import pytest
 from repro.core.stall_types import MemStructCause, ServiceLocation, StallType
 from repro.gpu.instruction import Instruction
 from repro.gpu.kernel import uniform_grid
-from repro.sim.config import LocalMemory, Protocol, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.system import System, run_workload
 from repro.workloads.synthetic import (
     BurstStoreWorkload,

@@ -5,7 +5,7 @@ import pytest
 from repro.core.stall_types import ServiceLocation
 from repro.gpu.instruction import Instruction
 from repro.gpu.kernel import Kernel, ThreadBlock, uniform_grid
-from repro.sim.config import LocalMemory, Protocol, SystemConfig
+from repro.sim.config import LocalMemory, SystemConfig
 from repro.system import System, run_workload
 from repro.workloads.synthetic import StreamingWorkload
 

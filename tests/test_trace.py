@@ -12,7 +12,6 @@ The two load-bearing guarantees:
 
 import gzip
 import json
-import os
 
 import pytest
 
@@ -234,9 +233,25 @@ class TestReplayOverrides:
         assert replayed.config.num_sms == 2
 
     def test_small_store_buffer_back_pressures(self):
-        _, trace = _record(*_streaming_args())
+        # Two warps per SM contend for the shrunken buffer: replay blocks.
+        # (A single-warp stream no longer blocks at any size -- an
+        # oversized store is admitted whole and drip-fed, matching the
+        # execution-side serialization -- so contention provides the
+        # back-pressure here.)
+        _, trace = _record(
+            "streaming", {"num_tbs": 2, "warps_per_tb": 2}, {"num_sms": 2}
+        )
         replayed = replay_trace(trace, overrides={"store_buffer_entries": 1})
         assert replayed.stats["replay"]["blocked_cycles"]["store_buffer_full"] > 0
+
+    def test_oversized_store_burst_drip_feeds(self):
+        # One warp per SM, 2-line stores, 1-entry buffer: every store is an
+        # oversized burst.  It must complete (no deadlock) and pay for the
+        # serialization in cycles rather than report per-line blocking.
+        _, trace = _record(*_streaming_args())
+        base = replay_trace(trace)
+        tiny = replay_trace(trace, overrides={"store_buffer_entries": 1})
+        assert tiny.cycles > base.cycles
 
     def test_num_sms_cannot_be_swept(self):
         _, trace = _record(*_streaming_args())
