@@ -27,12 +27,18 @@ import json
 import sys
 
 
-def load_rows(path: str) -> dict:
-    """Scenario-key -> row map of a BENCH_engine artifact."""
+def load_rows(path: str, section: str = "scenarios") -> dict:
+    """Scenario-key -> row map of one section of a BENCH_engine artifact.
+
+    ``section`` is ``"scenarios"`` (python-core trajectory) or
+    ``"scenarios_fast"`` (fast-core trajectory): the two cores simulate
+    byte-identically but run at different speeds, so their rows are
+    tracked -- and gated -- separately.
+    """
     with open(path, encoding="utf-8") as fh:
         payload = json.load(fh)
     out = {}
-    for entry in payload.get("scenarios", []):
+    for entry in payload.get(section, []):
         key = entry.get("key") or entry.get("scenario")
         if key and entry.get("cycles_per_sec"):
             out[key] = entry
@@ -85,12 +91,21 @@ def main(argv=None) -> int:
         default=0.35,
         help="fail when fresh < tolerance * committed (default: 0.35)",
     )
+    parser.add_argument(
+        "--core",
+        choices=["python", "fast"],
+        default="python",
+        help="which engine core's trajectory to gate: rows measured under "
+        "REPRO_CORE=fast live in the artifact's 'scenarios_fast' section "
+        "and are compared against that section only (default: python)",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.tolerance <= 1:
         parser.error("--tolerance must be in (0, 1]")
+    section = "scenarios_fast" if args.core == "fast" else "scenarios"
     try:
-        fresh = load_rows(args.fresh)
-        committed = load_rows(args.committed)
+        fresh = load_rows(args.fresh, section)
+        committed = load_rows(args.committed, section)
     except (OSError, ValueError) as exc:
         print("perf gate error: %s" % exc, file=sys.stderr)
         return 2

@@ -107,6 +107,11 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mshr", type=int, default=32)
     parser.add_argument("--store-buffer", type=int, default=None)
     parser.add_argument("--scheduler", choices=["lrr", "gto"], default="lrr")
+    parser.add_argument("--core", choices=["auto", "python", "fast"],
+                        default="auto",
+                        help="engine core: the pure-Python oracle or the "
+                             "byte-identical fast core ('auto' follows "
+                             "REPRO_CORE; see README 'Engine cores')")
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--hierarchy", metavar="FILE", default=None,
                         help="memory-hierarchy spec: a JSON/YAML file with a "
@@ -132,6 +137,7 @@ def _config_from_args(args, timeline: "int | None" = None) -> SystemConfig:
         warp_scheduler=args.scheduler,
         timeline_window=timeline,
         seed=args.seed,
+        core=getattr(args, "core", "auto"),
     )
     overrides = {}
     if args.sms is not None:
@@ -193,6 +199,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="on-disk scenario result cache (a repeated "
                                "campaign is served entirely from it)")
 
+    bench = sub.add_parser(
+        "bench",
+        help="re-measure the perf trajectory (BENCH_engine.json) in place",
+    )
+    bench.add_argument(
+        "groups", nargs="*", metavar="GROUP",
+        help="scenario groups to measure (default: all); see --list")
+    bench.add_argument("--list", action="store_true", dest="list_groups",
+                       help="list the scenario groups and exit")
+    bench.add_argument("--key", action="append", default=[], metavar="SUBSTR",
+                       dest="keys",
+                       help="keep only rows whose scenario key or display "
+                            "name contains SUBSTR (repeatable)")
+    bench.add_argument("--core", choices=["auto", "python", "fast"],
+                       default="auto",
+                       help="engine core to measure under; rows land in the "
+                            "matching artifact section ('auto' follows "
+                            "REPRO_CORE)")
+    bench.add_argument("--artifact", metavar="FILE",
+                       default="benchmarks/artifacts/BENCH_engine.json",
+                       help="committed trajectory to diff (and --update) "
+                            "against")
+    bench.add_argument("--update", action="store_true",
+                       help="merge the fresh rows into the artifact")
+
     run = sub.add_parser("run", help="run one workload and print the breakdown")
     _add_sim_options(run)
     run.add_argument("--timeline", type=int, default=None, metavar="CYCLES",
@@ -201,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stats", action="store_true",
                      help="print the full component stats tree")
     run.add_argument("--per-sm", action="store_true", help="per-SM breakdowns")
+    run.add_argument("--profile", metavar="OUT.pstats", default=None,
+                     help="run under cProfile and write the stats file "
+                          "(inspect with pstats or snakeviz; see "
+                          "benchmarks/README.md)")
+    run.add_argument("--profile-top", type=int, default=15, metavar="N",
+                     help="with --profile: also print the top N functions "
+                          "by internal time (default: 15)")
 
     trace = sub.add_parser(
         "trace", help="record a workload's memory trace / replay one"
@@ -247,7 +285,22 @@ def cmd_run(args) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     workload = WORKLOADS[args.workload](args)
-    result = run_workload(config, workload)
+    if args.profile:
+        # Profile exactly the simulation (workload build + run), not the
+        # CLI's own reporting; the stats file is standard pstats.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(run_workload, config, workload)
+        profiler.dump_stats(args.profile)
+        if args.profile_top > 0:
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("tottime")
+            stats.print_stats(args.profile_top)
+        print("profile written to %s" % args.profile)
+    else:
+        result = run_workload(config, workload)
     print(result.summary())
     print("execution: %d cycles, %d instructions, IPC %.3f" % (
         result.cycles, result.instructions, result.ipc))
@@ -375,6 +428,70 @@ def _parse_override(text: str):
     return field.strip(), value
 
 
+def cmd_bench(args) -> int:
+    """Re-measure the engine perf trajectory and diff it against the
+    committed ``BENCH_engine.json`` (see benchmarks/README.md)."""
+    import os
+
+    from repro import fastcore
+    from repro.experiments import bench
+
+    if args.list_groups:
+        for name in bench.GROUPS:
+            print(name)
+        return 0
+    groups = args.groups or list(bench.GROUPS)
+    unknown = [g for g in groups if g not in bench.GROUPS]
+    if unknown:
+        print(
+            "error: unknown group(s) %s (try: repro bench --list)"
+            % ", ".join(unknown),
+            file=sys.stderr,
+        )
+        return 2
+    if args.core != "auto":
+        # Core selection is normally import-time (REPRO_CORE); pin both
+        # the module global (this process) and the environment (executor
+        # worker processes inherit it) before any system is built.
+        os.environ["REPRO_CORE"] = args.core
+        fastcore.DEFAULT_CORE = args.core
+    core = fastcore.DEFAULT_CORE
+    section = "scenarios_fast" if core == "fast" else "scenarios"
+    print("bench: measuring %s under the %s core" % (", ".join(groups), core))
+    rows = bench.measure(groups)
+    if args.keys:
+        rows = [
+            r
+            for r in rows
+            if any(k in r["key"] or k in r["scenario"] for k in args.keys)
+        ]
+        if not rows:
+            print("error: no measured row matches --key filter(s)",
+                  file=sys.stderr)
+            return 2
+    committed = {
+        e.get("key", e.get("scenario")): e
+        for e in bench.load_section(args.artifact, section)
+    }
+    print("%d row(s) measured (%s section):" % (len(rows), section))
+    for r in sorted(rows, key=lambda e: (e["workload"], e["scenario"])):
+        base = committed.get(r["key"])
+        if base and base.get("cycles_per_sec"):
+            delta = "%+6.1f%% vs committed %10.1f cyc/s" % (
+                100.0 * (r["cycles_per_sec"] / base["cycles_per_sec"] - 1.0),
+                base["cycles_per_sec"],
+            )
+        else:
+            delta = "(new row)"
+        print(
+            "  %-45s %10.1f cyc/s  %s" % (r["scenario"], r["cycles_per_sec"], delta)
+        )
+    if args.update:
+        bench.merge_rows(args.artifact, section, rows)
+        print("updated %s section of %s" % (section, args.artifact))
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.trace import (
         TraceFormatError,
@@ -494,6 +611,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sweep(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "trace":
         return cmd_trace(args)
     return cmd_run(args)

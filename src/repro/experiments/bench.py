@@ -1,0 +1,181 @@
+"""The benchmark scenario catalog behind ``repro bench``.
+
+One place defines *what* the perf trajectory measures: the named groups
+below run the exact experiment entry points the ``benchmarks/`` pytest
+suite times, at the same problem sizes (the size constants live here and
+``benchmarks/conftest.py`` imports them, so the CLI and the suite cannot
+drift apart).  Rows are keyed by :meth:`Scenario.key` -- the stable hash
+of the simulation inputs -- which is how they match up with the committed
+``BENCH_engine.json`` trajectory.
+
+Rows measured under the fast core (``REPRO_CORE=fast`` /
+``--core fast``) belong to the artifact's ``scenarios_fast`` section;
+python-core rows belong to ``scenarios``.  The two cores simulate
+byte-identically but run at very different speeds, so their trajectories
+are tracked separately and the perf gate (``benchmarks/perf_gate.py
+--core``) never compares across them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable
+
+from repro.experiments import executor
+
+#: benchmark problem sizes, scaled so the whole suite runs in minutes.
+UTS_NODES = 120
+IMPLICIT_TBS = 4
+IMPLICIT_WARPS = 8
+
+
+def _fig61() -> None:
+    from repro.experiments.figures import fig61
+
+    fig61(total_nodes=UTS_NODES)
+
+
+def _fig62() -> None:
+    from repro.experiments.figures import fig62
+
+    fig62(total_nodes=UTS_NODES, include_uts_reference=True)
+
+
+def _fig63() -> None:
+    from repro.experiments.figures import fig63
+
+    fig63(num_tbs=IMPLICIT_TBS, warps_per_tb=IMPLICIT_WARPS)
+
+
+def _fig64() -> None:
+    from repro.experiments.figures import fig64
+
+    fig64(
+        mshr_sizes=(32, 64, 128, 256),
+        num_tbs=IMPLICIT_TBS,
+        warps_per_tb=IMPLICIT_WARPS,
+    )
+
+
+def _hierarchy() -> None:
+    from repro.experiments.figures import fig_hierarchy
+
+    fig_hierarchy(total_nodes=UTS_NODES)
+
+
+def _campaign() -> None:
+    from repro.experiments.campaign import default_campaign, run_campaign
+
+    run_campaign(default_campaign(fast=False))
+
+
+#: group name -> the experiment entry point the benchmark suite times.
+GROUPS: dict[str, Callable[[], None]] = {
+    "fig6.1": _fig61,
+    "fig6.2": _fig62,
+    "fig6.3": _fig63,
+    "fig6.4": _fig64,
+    "hierarchy": _hierarchy,
+    "campaign": _campaign,
+}
+
+
+def measure(groups: list[str]) -> list[dict]:
+    """Run the named groups uncached and return one row per scenario key.
+
+    Taps the executor's ``record_hook`` exactly like the benchmark
+    conftest: per-scenario wall clock comes from the executor itself, so
+    a row covers the simulation alone (not rendering or claim checking).
+    Several groups re-run the same configuration (fig6.2 includes the
+    fig6.1 reference points); the first measurement of a key wins.
+    """
+    timings: list[dict] = []
+
+    def record(rec) -> None:
+        if rec.cached:
+            return
+        timings.append(
+            {
+                "scenario": rec.scenario.name,
+                "key": rec.scenario.key(),
+                "workload": rec.scenario.workload,
+                "cycles": rec.result.cycles,
+                "engine_events": rec.result.stats.get("engine", {}).get("events"),
+                "elapsed_s": round(rec.elapsed_s, 6),
+            }
+        )
+
+    previous = executor.record_hook
+    executor.record_hook = record
+    try:
+        for name in groups:
+            start = time.perf_counter()
+            GROUPS[name]()
+            print(
+                "  %-10s done in %.1fs (%d scenario rows so far)"
+                % (name, time.perf_counter() - start, len(timings))
+            )
+    finally:
+        executor.record_hook = previous
+
+    rows: dict[str, dict] = {}
+    for t in timings:
+        rows.setdefault(
+            t["key"],
+            {
+                "scenario": t["scenario"],
+                "key": t["key"],
+                "workload": t["workload"],
+                "cycles": t["cycles"],
+                "engine_events": t["engine_events"],
+                "wall_clock_s": t["elapsed_s"],
+                "cycles_per_sec": (
+                    round(t["cycles"] / t["elapsed_s"], 1) if t["elapsed_s"] else None
+                ),
+            },
+        )
+    return list(rows.values())
+
+
+def load_section(path: str, section: str) -> list[dict]:
+    """The rows of one section of a BENCH_engine artifact ([] if absent)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh).get(section, [])
+    except (OSError, ValueError):
+        return []
+
+
+def merge_rows(path: str, section: str, fresh: list[dict]) -> None:
+    """Merge freshly measured rows into one section of the artifact.
+
+    Same semantics as the benchmark conftest: rows match by scenario key,
+    stale rows sharing a display identity (workload, scenario name) with
+    a fresh row are evicted, sections the session did not measure are
+    carried through verbatim.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = {}
+    merged = {e.get("key", e.get("scenario")): e for e in payload.get(section, [])}
+    fresh_names = {(r["workload"], r["scenario"]) for r in fresh}
+    merged = {
+        k: e
+        for k, e in merged.items()
+        if (e.get("workload"), e.get("scenario")) not in fresh_names
+    }
+    merged.update({r["key"]: r for r in fresh})
+    payload["unit"] = "simulated GPU cycles per host second"
+    payload[section] = sorted(
+        merged.values(),
+        key=lambda e: (e.get("workload") or "", e.get("scenario") or ""),
+    )
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)

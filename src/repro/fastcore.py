@@ -1,0 +1,70 @@
+"""Engine-core selection: the python oracle vs. the fast core.
+
+The simulator ships two implementations of its hot paths:
+
+* the **python core** -- the original pure-Python engine, SM frontend and
+  set-associative tag arrays.  It is the *byte-identity oracle*: every
+  golden artifact, cached scenario result and record→replay trace is
+  defined by its behavior.
+* the **fast core** -- the calendar-queue scheduler
+  (:class:`repro.sim.engine_fast.CalendarEngine`), the inlined SM tick
+  (:class:`repro.gpu.sm_fast.FastSM`) and the flat tag-array /
+  pooled-MSHR datapath.  It must produce byte-identical results; CI
+  regenerates the fig6.x goldens under both cores and ``cmp``s them.
+
+Selection happens at **import time** from the environment and can be
+overridden per-config:
+
+* ``REPRO_CORE=fast`` (or ``python``) selects the core for the whole
+  process -- including executor worker processes, which inherit the
+  environment through ``multiprocessing``;
+* ``SystemConfig.core`` (``"auto"`` by default) pins a single system:
+  ``"auto"`` defers to the environment, ``"python"``/``"fast"`` win over
+  it.  The field never enters ``to_dict()`` / scenario cache keys --
+  both cores must produce the same bytes, so results are shared.
+
+An optional compiled build of the fast modules (mypyc / Cython) slots in
+behind the same selector: :func:`compiled_available` probes for it and
+the fast core silently falls back to the pure-Python fast modules when
+no compiler ever ran (the common case; the container ships neither).
+"""
+
+from __future__ import annotations
+
+import os
+
+CORES = ("auto", "python", "fast")
+
+#: Process-wide default, read once at import so every subsystem -- and
+#: every executor worker forked later -- agrees on one answer.
+DEFAULT_CORE: str = os.environ.get("REPRO_CORE", "python")
+if DEFAULT_CORE not in ("python", "fast"):
+    raise RuntimeError(
+        "REPRO_CORE must be 'python' or 'fast', got %r" % DEFAULT_CORE
+    )
+
+
+def resolve_core(config_core: str = "auto") -> str:
+    """The core a system with ``config_core`` actually runs on.
+
+    ``"auto"`` (the default) defers to ``REPRO_CORE``; an explicit
+    ``"python"``/``"fast"`` pins the system regardless of environment.
+    """
+    if config_core == "auto":
+        return DEFAULT_CORE
+    return config_core
+
+
+def compiled_available() -> bool:
+    """Is a mypyc/Cython build of the fast modules importable?
+
+    The stretch-goal compiled core registers itself as
+    ``repro._compiled`` when built; absent a compiler (the supported
+    baseline) this is simply ``False`` and the pure-Python fast modules
+    serve the fast core.
+    """
+    try:
+        import repro._compiled  # noqa: F401
+    except ImportError:
+        return False
+    return True

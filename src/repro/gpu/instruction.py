@@ -29,11 +29,18 @@ class Op(enum.Enum):
     MAP = "map"            # scratchpad DMA transfer / stash map setup
     NOP = "nop"
 
+    # Members are singletons; identity hashing is exact and C-speed (the
+    # SM's issue-dispatch table is probed once per issued instruction,
+    # and Enum's own __hash__ is a Python-level call).
+    __hash__ = object.__hash__
+
 
 class Space(enum.Enum):
     GLOBAL = "global"
     SCRATCH = "scratch"    # scratchpad (directly addressed, private)
     STASH = "stash"        # stash (coherent, mapped to global)
+
+    __hash__ = object.__hash__
 
 
 class MapMode(enum.Enum):
@@ -41,10 +48,15 @@ class MapMode(enum.Enum):
     DMA_TO_GLOBAL = "dma_to_global"
     STASH_MAP = "stash_map"
 
+    __hash__ = object.__hash__
 
-@dataclass
+
+@dataclass(slots=True)
 class Instruction:
-    """A single warp instruction; build via the class-method constructors."""
+    """A single warp instruction; build via the class-method constructors.
+
+    Slotted: warp programs construct millions of these per run, and the
+    slot layout skips the per-instance ``__dict__``."""
 
     op: Op
     dst: int | None = None
@@ -63,6 +75,9 @@ class Instruction:
     map_global_base: int = 0
     map_size: int = 0
     tag: str = ""
+    #: payload of a STORE (``store_value()``); slots forbid the dynamic
+    #: attribute the unslotted class used to attach.
+    _store_value: int | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -126,11 +141,15 @@ class Instruction:
         addrs = tuple(addrs)
         if not addrs:
             raise ValueError("store needs at least one address")
-        inst = cls(op=Op.STORE, srcs=tuple(srcs), space=space, addrs=addrs, tag=tag)
-        inst.value_addr = addrs[0]
-        inst.latency = None
-        inst._store_value = value  # type: ignore[attr-defined]
-        return inst
+        return cls(
+            op=Op.STORE,
+            srcs=tuple(srcs),
+            space=space,
+            addrs=addrs,
+            value_addr=addrs[0],
+            tag=tag,
+            _store_value=value,
+        )
 
     # -- atomics ---------------------------------------------------------
     @classmethod
@@ -274,7 +293,7 @@ class Instruction:
         return self.op is Op.BARRIER or self.acquire or self.release
 
     def store_value(self) -> int | None:
-        return getattr(self, "_store_value", None)
+        return self._store_value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         extra = " %s" % self.tag if self.tag else ""

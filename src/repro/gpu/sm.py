@@ -120,6 +120,18 @@ class SM(Component):
         self.cycles_ticked = 0
         self.stat_derived("instructions_issued", lambda: self.instructions_issued)
         self.stat_derived("cycles_ticked", lambda: self.cycles_ticked)
+        #: issue dispatch by opcode; bound once so the per-issue path is a
+        #: single dict lookup instead of an if/elif chain over ``Op``.
+        self._issue_table: dict[Op, Callable[[Warp, Instruction, int], None]] = {
+            Op.ALU: self._issue_compute,
+            Op.SFU: self._issue_compute,
+            Op.LOAD: self._issue_load,
+            Op.STORE: self._issue_store,
+            Op.ATOMIC: self._issue_atomic,
+            Op.BARRIER: self._issue_barrier,
+            Op.MAP: self._issue_map,
+            Op.NOP: self._issue_nop,
+        }
 
     def on_reset_stats(self) -> None:
         self.instructions_issued = 0
@@ -251,30 +263,21 @@ class SM(Component):
         if self._active_releases <= 0:
             self._active_releases = 0
             self.lsu.end_release()
-        self.wake()
+        if self.sleeping:
+            self.wake()
 
     # ------------------------------------------------------------------
     # Issue
     # ------------------------------------------------------------------
     def _issue(self, warp: Warp, instr: Instruction, now: int) -> None:
         warp.fetch_ready_at = now + 1 + instr.fetch_delay
-        op = instr.op
-        if op is Op.ALU or op is Op.SFU:
-            self._issue_compute(warp, instr, now)
-        elif op is Op.LOAD:
-            self._issue_load(warp, instr, now)
-        elif op is Op.STORE:
-            self._issue_store(warp, instr, now)
-        elif op is Op.ATOMIC:
-            self._issue_atomic(warp, instr, now)
-        elif op is Op.BARRIER:
-            self._issue_barrier(warp, instr, now)
-        elif op is Op.MAP:
-            self._issue_map(warp, instr, now)
-        elif op is Op.NOP:
-            self._advance(warp, None)
-        else:  # pragma: no cover - exhaustive
-            raise ValueError("cannot issue %r" % (op,))
+        handler = self._issue_table.get(instr.op)
+        if handler is None:  # pragma: no cover - exhaustive
+            raise ValueError("cannot issue %r" % (instr.op,))
+        handler(warp, instr, now)
+
+    def _issue_nop(self, warp: Warp, instr: Instruction, now: int) -> None:
+        self._advance(warp, None)
 
     def _issue_compute(self, warp: Warp, instr: Instruction, now: int) -> None:
         if instr.op is Op.SFU:
@@ -291,7 +294,8 @@ class SM(Component):
         self._advance(warp, None)
 
     def _compute_value_done(self, warp: Warp) -> None:
-        self.wake()
+        if self.sleeping:
+            self.wake()
         self._advance(warp, 0)
 
     # -- loads -------------------------------------------------------------
@@ -368,7 +372,8 @@ class SM(Component):
             # Scope everything this completion triggers (dependence front,
             # possibly the end-of-kernel teardown) to the group's tag.
             sink.enter_completion(group.tag, warp.ctx.warp_id)
-        self.wake()
+        if self.sleeping:
+            self.wake()
         final = group.final_loc or loc
         if self.attr is not None:
             self.attr.resolve_mem(group.tag, final)
@@ -499,7 +504,7 @@ class SM(Component):
     # -- atomics -------------------------------------------------------------
     def _issue_atomic(self, warp: Warp, instr: Instruction, now: int) -> None:
         assert instr.atomic_fn is not None
-        tag = _next_tag()
+        tag = next(_tags)  # _next_tag(), sans the wrapper call
         kind = "sync" if (instr.acquire or instr.release) else "mem"
         sink = self.lsu.trace_sink
         if sink is not None:
@@ -511,14 +516,9 @@ class SM(Component):
             warp.waiting_value = True
             warp.value_producer = (kind, tag)
 
-        def send() -> None:
-            self.l1.atomic(
-                instr.addrs[0],
-                instr.atomic_fn,
-                lambda v, w=warp, i=instr, t=tag, k=kind: self._atomic_done(
-                    w, i, t, k, v
-                ),
-            )
+        # The L1's tuple lane: no per-atomic closure, _atomic_done is
+        # called as on_done[0](warp, instr, tag, kind, value).
+        on_done = (self._atomic_done, warp, instr, tag, kind)
 
         if instr.release:
             # Release ordering: prior buffered stores must be visible before
@@ -532,11 +532,11 @@ class SM(Component):
 
             def flush_done() -> None:
                 self._release_complete()
-                send()
+                self.l1.atomic(instr.addrs[0], instr.atomic_fn, on_done)
 
             self.l1.flush_store_buffer(flush_done)
         else:
-            send()
+            self.l1.atomic(instr.addrs[0], instr.atomic_fn, on_done)
         if not instr.returns_value:
             self._advance(warp, None)
 
@@ -546,7 +546,8 @@ class SM(Component):
         sink = self.lsu.trace_sink
         if sink is not None:
             sink.enter_completion(tag, warp.ctx.warp_id)
-        self.wake()
+        if self.sleeping:  # wake() guard, hoisted: most completions find
+            self.wake()  # the SM already awake
         if kind == "mem" and self.attr is not None:
             self.attr.resolve_mem(tag, ServiceLocation.L2)
         if instr.acquire:
@@ -624,8 +625,17 @@ class SM(Component):
     # Program advancement & completion
     # ==================================================================
     def _advance(self, warp: Warp, value: int | None) -> None:
-        warp.advance(value)
-        if warp.finished:
+        # Warp.advance + Warp._advance_program, inlined: every issued
+        # instruction resumes its program through here, and the two extra
+        # call frames are pure overhead.  The Warp methods remain the
+        # canonical implementation for direct callers.
+        warp.waiting_value = False
+        warp.value_producer = None
+        try:
+            warp.current = warp.program.send(value)
+        except StopIteration:
+            warp.current = None
+            warp.finished = True
             self._on_warp_finished(warp)
 
     def _on_warp_finished(self, warp: Warp) -> None:

@@ -33,6 +33,7 @@ class Warp:
         "fetch_ready_at",
         "release_flush_started",
         "scoreboard",
+        "sb_pending",
         "instructions_issued",
         "last_issue",
     )
@@ -51,6 +52,9 @@ class Warp:
         #: the current release-semantics op already triggered its SB flush
         self.release_flush_started = False
         self.scoreboard = Scoreboard()
+        #: alias of ``scoreboard._pending`` (mutated in place, never
+        #: rebound) so the per-cycle issue loop skips one attribute hop.
+        self.sb_pending = self.scoreboard._pending
         self.instructions_issued = 0
         self.last_issue = -1
 
@@ -67,11 +71,12 @@ class Warp:
         self._advance_program(value)
 
     def _advance_program(self, value: int | None) -> None:
+        # ``send(None)`` on a just-created generator is exactly ``next()``,
+        # and ``prime`` always runs before the first value-carrying resume,
+        # so one unconditional ``send`` covers both the fetch and resume
+        # paths.
         try:
-            if value is None and self.current is None and self.instructions_issued == 0:
-                self.current = next(self.program)
-            else:
-                self.current = self.program.send(value)
+            self.current = self.program.send(value)
         except StopIteration:
             self.current = None
             self.finished = True

@@ -33,14 +33,15 @@ from typing import Callable
 
 from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
-from repro.mem.cache import LineState, SetAssocCache
+from repro.mem.cache import FlatSetAssocCache, LineState, SetAssocCache
 from repro.mem.coherence.base import CoherenceProtocol
 from repro.mem.hierarchy import CacheLevelSpec
 from repro.mem.main_memory import GlobalMemory
-from repro.mem.mshr import Mshr
-from repro.mem.store_buffer import SbEntry, StoreBuffer
+from repro.mem.mshr import FastMshr, Mshr
+from repro.mem.store_buffer import FastStoreBuffer, SbEntry, StoreBuffer
 from repro.noc.mesh import Mesh
-from repro.noc.message import Message, MsgType, next_request_id
+from repro.noc.message import Message, MsgType, alloc_message, next_request_id, recycle_message
+from repro.noc.message import _request_ids as _REQ_IDS  # atomic() fast lane
 from repro.sim.config import SystemConfig
 
 LoadCallback = Callable[[ServiceLocation, int], None]  # (where, req_id)
@@ -109,8 +110,13 @@ class L1Controller(Component):
         memory: GlobalMemory,
         levels: "list[CacheLevelSpec] | None" = None,
         shared_tags: "dict[str, SetAssocCache] | None" = None,
+        fast: bool = False,
     ) -> None:
         Component.__init__(self, "l1")
+        #: fast-core elaboration: flat-dict tag arrays, pooled MSHR entries
+        #: and store-buffer slots.  Byte-identical to the oracle parts by
+        #: contract (same LRU victims, same stats, same event order).
+        cache_cls = FlatSetAssocCache if fast else SetAssocCache
         self.node = node
         self.config = config
         self.mesh = mesh
@@ -118,6 +124,10 @@ class L1Controller(Component):
         self.l2_node_of_line = l2_node_of_line
         self.protocol = protocol
         self.memory = memory
+        #: hoisted constants for the per-atomic hot path
+        self._line_shift = config.offset_bits
+        self._keep_owned_on_acquire = protocol.keeps_owned_on_acquire()
+        self._send = mesh.send
         if levels is None:
             levels = config.effective_hierarchy().core_levels
         if not levels:
@@ -129,7 +139,7 @@ class L1Controller(Component):
         for i, spec in enumerate(levels):
             tags = (shared_tags or {}).get(spec.name)
             if tags is None:
-                tags = SetAssocCache(
+                tags = cache_cls(
                     spec.size // (config.line_size * spec.assoc),
                     spec.assoc,
                     name="cache" if i == 0 else spec.name,
@@ -154,9 +164,9 @@ class L1Controller(Component):
         self._protocol_tags = (
             self.cache if self._deeper is None and self._l0_probe else _StackTags(self.levels)
         )
-        self.mshr = Mshr(config.mshr_entries)
+        self.mshr = (FastMshr if fast else Mshr)(config.mshr_entries)
         self.add_child(self.mshr)
-        self.store_buffer = StoreBuffer(
+        self.store_buffer = (FastStoreBuffer if fast else StoreBuffer)(
             config.store_buffer_entries,
             issue_fn=self._issue_sb_entry,
             write_combining=config.write_combining,
@@ -381,8 +391,11 @@ class L1Controller(Component):
         invalidation *volume* across the stack, not distinct lines.
         """
         self.acquires.value += 1
-        keep = self.protocol.keeps_owned_on_acquire()
-        dropped = self.cache.invalidate_all(keep_owned=keep)
+        keep = self._keep_owned_on_acquire
+        cache = self.cache
+        # Empty-cache acquires are the common case in lock-heavy phases
+        # (self-invalidation keeps the L1 drained); skip the call then.
+        dropped = cache.invalidate_all(keep_owned=keep) if cache._occupied else 0
         if self._deeper_inval is not None:
             for lv in self._deeper_inval:
                 dropped += lv.tags.invalidate_all(keep_owned=keep)
@@ -416,20 +429,32 @@ class L1Controller(Component):
         self,
         word_addr: int,
         fn: Callable[[int], tuple[int, int]],
-        on_done: Callable[[int], None],
+        on_done,
     ) -> int:
-        line = self.config.line_of(word_addr)
-        req_id = next_request_id()
+        """Issue an atomic RMW on ``word_addr``; ``on_done`` receives the
+        old value.  ``on_done`` is either a plain ``callable(value)`` or --
+        the SM's allocation-free lane -- a 5-tuple ``(fn, a, b, c, d)``
+        invoked as ``fn(a, b, c, d, value)``."""
+        line = word_addr >> self._line_shift
+        # next_request_id(), sans the wrapper call: same shared counter.
+        req_id = next(_REQ_IDS)
         self._atomic_waiters[req_id] = on_done
-        self.mesh.send(
-            Message(
-                mtype=MsgType.ATOMIC,
-                src=self.node,
-                dst=self.l2_node_of_line(line),
-                line=line,
-                req_id=req_id,
-                word_addr=word_addr,
-                atomic_fn=fn,
+        # Pooled positional construction (field order: mtype, src, dst,
+        # line, req_id, requester, value, service_loc, atomic_fn,
+        # word_addr): this is one of the two hottest allocation sites; the
+        # L2 retires the request after its RMW.
+        self._send(
+            alloc_message(
+                MsgType.ATOMIC,
+                self.node,
+                self.l2_node_of_line(line),
+                line,
+                req_id,
+                None,
+                None,
+                None,
+                fn,
+                word_addr,
             )
         )
         return req_id
@@ -439,6 +464,18 @@ class L1Controller(Component):
     # ------------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
         if msg.mtype is MsgType.DATA:
+            # Atomic responses dominate DATA traffic in the synchronization
+            # workloads; complete them inline (one frame saved on the
+            # hottest delivery path), fall through for load fills.
+            cb = self._atomic_waiters.pop(msg.req_id, None)
+            if cb is not None:
+                value = msg.value
+                recycle_message(msg)
+                if cb.__class__ is tuple:
+                    cb[0](cb[1], cb[2], cb[3], cb[4], value)
+                else:
+                    cb(value)
+                return
             self._handle_data(msg)
         elif msg.mtype is MsgType.ACK:
             self._handle_ack(msg)
@@ -450,25 +487,38 @@ class L1Controller(Component):
             raise ValueError("L1 cannot handle %s" % msg.mtype)
 
     def _handle_data(self, msg: Message) -> None:
-        if msg.req_id in self._atomic_waiters:
-            cb = self._atomic_waiters.pop(msg.req_id)
+        # Every DATA message retires here: nothing below stores ``msg``
+        # (waiters receive scalars), so it returns to the pool on exit.
+        cb = self._atomic_waiters.pop(msg.req_id, None)
+        if cb is not None:
             assert msg.value is not None
-            cb(msg.value)
+            value = msg.value
+            recycle_message(msg)
+            if cb.__class__ is tuple:
+                cb[0](cb[1], cb[2], cb[3], cb[4], value)
+            else:
+                cb(value)
             return
         waiter = self._load_waiters.pop(msg.req_id, None)
         if waiter is None:
+            recycle_message(msg)
             return  # stale response (e.g. cancelled requester); drop
         _, bypass = waiter
         entry = self.mshr.complete(msg.line)
         if not bypass:
             self._install_fill(msg.line, self.protocol.fill_state())
         loc = msg.service_loc or ServiceLocation.L2
+        req_id = msg.req_id
+        recycle_message(msg)
         for hook in self.resource_freed_hooks:
             hook()  # an MSHR entry just freed
         for cb in entry.waiters:
-            cb(loc, msg.req_id)
+            cb(loc, req_id)
         for cb in entry.merged_waiters:
-            cb(ServiceLocation.L1_COALESCE, msg.req_id)
+            cb(ServiceLocation.L1_COALESCE, req_id)
+        # Every waiter has been serviced: the entry can be pooled (no-op on
+        # the oracle MSHR, freelist reuse on the fast core's).
+        self.mshr.recycle(entry)
 
     # ------------------------------------------------------------------
     # Fill / spill / writeback (one mechanism for every stack shape)

@@ -37,11 +37,11 @@ from functools import partial
 
 from repro.core.component import Component
 from repro.core.stall_types import ServiceLocation
-from repro.mem.cache import LineState
+from repro.mem.cache import LineState, SetAssocCache
 from repro.mem.hierarchy import BankedTagArray, CacheLevelSpec, SharedCacheLevel
 from repro.mem.main_memory import Dram, GlobalMemory
 from repro.noc.mesh import Mesh
-from repro.noc.message import Message, MsgType
+from repro.noc.message import Message, MsgType, alloc_message, recycle_message
 from repro.sim.config import SystemConfig
 
 
@@ -56,6 +56,7 @@ class L2Cache(Component):
         dram: Dram,
         spec: CacheLevelSpec | None = None,
         next_levels: "list[SharedCacheLevel] | None" = None,
+        cache_cls: type = SetAssocCache,
     ) -> None:
         if spec is None:
             spec = config.effective_hierarchy().directory_level
@@ -68,7 +69,11 @@ class L2Cache(Component):
         self.dram = dram
         self.num_banks = spec.banks
         self.tags = BankedTagArray(
-            self, spec.sets(config.line_size), spec.assoc, spec.banks
+            self,
+            spec.sets(config.line_size),
+            spec.assoc,
+            spec.banks,
+            cache_cls=cache_cls,
         )
         self._dir_latency = spec.effective_dir_latency
         #: data-array portion of an access beyond the directory lookup
@@ -91,6 +96,21 @@ class L2Cache(Component):
         self.ownership_grants = self.stat_counter("ownership_grants")
         self.ownership_recalls = self.stat_counter("ownership_recalls")
         self.dram_fills = self.stat_counter("dram_fills")
+        # Hot-path aliases + per-type dispatch, bound once (none of these
+        # callees is ever rebound): the service path runs once per request
+        # message, the rmw path once per atomic.
+        self._send = mesh.send
+        self._mem_words = memory._words
+        self._tag_banks = self.tags.banks
+        self._bank_free = self.tags._free
+        self._schedule_call = mesh.engine.schedule_call
+        self._service_table = {
+            MsgType.GETS: self._service_gets,
+            MsgType.PUT_WT: self._service_put_wt,
+            MsgType.GETO: self._service_geto,
+            MsgType.ATOMIC: self._service_atomic,
+            MsgType.WB_OWNED: self._service_wb_owned,
+        }
 
     # ------------------------------------------------------------------
     def bank_of(self, line: int) -> int:
@@ -129,24 +149,30 @@ class L2Cache(Component):
 
     # ------------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
-        """Entry point for request messages delivered by the mesh."""
-        bank = msg.line % self.num_banks
-        delay = self._bank_service_delay(bank)
-        self.engine.schedule(delay, partial(self._service, msg, bank))
+        """Entry point for request messages delivered by the mesh.
 
-    def _service(self, msg: Message, bank: int) -> None:
-        if msg.mtype is MsgType.GETS:
-            self._service_gets(msg, bank)
-        elif msg.mtype is MsgType.PUT_WT:
-            self._service_put_wt(msg, bank)
-        elif msg.mtype is MsgType.GETO:
-            self._service_geto(msg, bank)
-        elif msg.mtype is MsgType.ATOMIC:
-            self._service_atomic(msg, bank)
-        elif msg.mtype is MsgType.WB_OWNED:
-            self._service_wb_owned(msg, bank)
-        else:
+        Dispatched through the engine's one-argument ``schedule_call``
+        lane: the bank is recomputed from the line at service time (it is
+        a pure function of the address), so no closure or partial is built
+        per message -- and under the fast core every request maturing on
+        one cycle shares a single calendar bucket.
+        """
+        # _bank_service_delay inlined (one request per bank per cycle):
+        # this runs once per delivered request message.
+        free = self._bank_free
+        bank = msg.line % self.num_banks
+        now = self.engine.now
+        start = free[bank]
+        if start < now:
+            start = now
+        free[bank] = start + 1
+        self._schedule_call(start - now + self._dir_latency, self._service, msg)
+
+    def _service(self, msg: Message) -> None:
+        handler = self._service_table.get(msg.mtype)
+        if handler is None:
             raise ValueError("L2 cannot handle %s" % msg.mtype)
+        handler(msg, msg.line % self.num_banks)
 
     # ------------------------------------------------------------------
     def _service_gets(self, msg: Message, bank: int) -> None:
@@ -263,7 +289,7 @@ class L2Cache(Component):
         self.owner[line] = msg.src
         self.ownership_grants.value += 1
         if extra > 0:
-            self.engine.schedule(extra, partial(self._ack, msg))
+            self.engine.schedule_call(extra, self._ack, msg)
         else:
             self._ack(msg)
 
@@ -284,40 +310,54 @@ class L2Cache(Component):
     def _service_atomic(self, msg: Message, bank: int) -> None:
         self.atomics.value += 1
         line = msg.line
-        extra = 0
-        if self.owner.get(line) is not None and self.owner[line] != msg.src:
+        prev = self.owner.get(line)
+        extra = self._data_array_delay  # atomics read-modify-write the data array
+        if prev is not None and prev != msg.src:
             # Atomics execute at the L2; a remotely owned line must first be
             # recalled (rare: synchronization variables are only accessed
             # atomically in the workloads studied).
-            prev = self.owner[line]
-            extra = self.mesh.hops(self.node_of_line(line), prev) * self.mesh.hop_latency
+            extra += self.mesh.hops(self.node_of_line(line), prev) * self.mesh.hop_latency
             self.ownership_recalls.value += 1
             self._recall(line)
         assert msg.atomic_fn is not None and msg.word_addr is not None
 
-        extra += self._data_array_delay  # atomics read-modify-write the data array
-
         if extra > 0:
-            self.engine.schedule(extra, partial(self._do_rmw, msg, bank))
+            self._schedule_call(extra, self._do_rmw, msg)
         else:
-            self._do_rmw(msg, bank)
+            self._do_rmw(msg)
 
-    def _do_rmw(self, msg: Message, bank: int) -> None:
+    def _do_rmw(self, msg: Message) -> None:
         line = msg.line
-        _, result = self.memory.atomic_rmw(msg.word_addr, msg.atomic_fn)
-        self._fill(bank, line)
-        self.mesh.send(
-            Message(
-                mtype=MsgType.DATA,
-                src=self.node_of_line(line),
-                dst=msg.src,
-                line=line,
-                req_id=msg.req_id,
-                value=result,
-                service_loc=ServiceLocation.L2,
-                meta=msg.meta,
+        bank = line % self.num_banks
+        # GlobalMemory.atomic_rmw, inlined on the aliased word store (the
+        # functional RMW runs once per atomic, by far the hottest memory op).
+        words = self._mem_words
+        addr = msg.word_addr & ~0x3
+        _new, result = msg.atomic_fn(words.get(addr, 0))
+        words[addr] = _new
+        self._tag_banks[bank].insert(line, LineState.VALID)  # _fill, inlined
+        # Pooled positional construction (field order: mtype, src, dst,
+        # line, req_id, requester, value, service_loc, atomic_fn,
+        # word_addr, bypass_l1, meta): the hottest response-allocation
+        # site.  The request retires here -- it is held by no table or
+        # bucket once this call runs.
+        self._send(
+            alloc_message(
+                MsgType.DATA,
+                self._bank_node[bank],
+                msg.src,
+                line,
+                msg.req_id,
+                None,
+                result,
+                ServiceLocation.L2,
+                None,
+                None,
+                False,
+                msg.meta,
             )
         )
+        recycle_message(msg)
 
     def _service_wb_owned(self, msg: Message, bank: int) -> None:
         line = msg.line

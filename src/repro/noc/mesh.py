@@ -17,7 +17,6 @@ and the traffic counters are plain ints surfaced as derived stats.
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Callable
 
 from repro.core.component import Component
@@ -56,6 +55,12 @@ class Mesh(Component):
                 for d in range(self.num_nodes)
             ]
             for s in range(self.num_nodes)
+        ]
+        #: uncontended route latency per (src, dst), precomputed alongside
+        #: the hop table so ``send`` skips the multiply on every message
+        self._base_lat: list[list[int]] = [
+            [hops * hop_latency + router_latency for hops in row]
+            for row in self._hop_table
         ]
         # Port reservations in 1/endpoint_bw-cycle slots; dense per-node
         # lists (indexed by node id) -- ``send`` probes them twice per
@@ -149,7 +154,7 @@ class Mesh(Component):
             inj_slot = prev
         inject_free[src] = inj_slot + 1
         hops = self._hop_table[src][dst]
-        arrive = inj_slot // bw + hops * self.hop_latency + self.router_latency
+        arrive = inj_slot // bw + self._base_lat[src][dst]
         eject_free = self._eject_free
         ej_slot = arrive * bw
         prev = eject_free[dst]
@@ -160,9 +165,12 @@ class Mesh(Component):
         self.messages_sent += 1
         self.total_hops += hops
         self.total_latency += delivery - now
-        # partial() is a C-level pairing of (handler, msg): cheaper to build
-        # and to call than an equivalent lambda on this 2-per-request path.
-        engine.schedule(delivery - now, partial(handler, msg))
+        # The engine pairs (handler, msg) itself: the oracle engine builds
+        # the same C-level partial this always used, while the calendar
+        # engine appends the bare pair to the delivery cycle's bucket --
+        # every message landing on one cycle drains in a single batch with
+        # no per-message closure.
+        engine.schedule_call(delivery - now, handler, msg)
         return delivery
 
     # ------------------------------------------------------------------

@@ -77,3 +77,67 @@ class Message:
             self.line,
             self.req_id,
         )
+
+
+#: freelist for the hottest request/response round trips.  Only the two
+#: consumers that provably retire their message push here (the L2 atomic
+#: RMW after it sends the response, the L1 data handler after the last
+#: waiter ran); the two matching producers pop.  Steady-state atomics and
+#: fills then allocate no Message objects at all.
+_msg_pool: list[Message] = []
+
+
+def recycle_message(msg: Message) -> None:
+    """Return a retired message to the pool.
+
+    The caller must guarantee no live reference remains: the message is
+    not stored in any table, bucket, or closure.  Fields are overwritten
+    (not cleared) on reuse."""
+    _msg_pool.append(msg)
+
+
+def alloc_message(
+    mtype: MsgType,
+    src: int,
+    dst: int,
+    line: int,
+    req_id: int,
+    requester: "int | None",
+    value: "int | None",
+    service_loc,
+    atomic_fn,
+    word_addr: "int | None",
+    bypass_l1: bool = False,
+    meta=None,
+) -> Message:
+    """Pool-aware :class:`Message` factory (hot positional field order)."""
+    pool = _msg_pool
+    if pool:
+        m = pool.pop()
+        m.mtype = mtype
+        m.src = src
+        m.dst = dst
+        m.line = line
+        m.req_id = req_id
+        m.requester = requester
+        m.value = value
+        m.service_loc = service_loc
+        m.atomic_fn = atomic_fn
+        m.word_addr = word_addr
+        m.bypass_l1 = bypass_l1
+        m.meta = meta
+        return m
+    return Message(
+        mtype,
+        src,
+        dst,
+        line,
+        req_id,
+        requester,
+        value,
+        service_loc,
+        atomic_fn,
+        word_addr,
+        bypass_l1,
+        meta,
+    )

@@ -28,6 +28,7 @@ stats, so instrumentation costs the hot loop nothing.
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from typing import Callable, Protocol
 
 from repro.core.component import Component
@@ -115,6 +116,22 @@ class Engine(Component):
         if time < self.now:
             raise ValueError("cannot schedule into the past (t=%d < now=%d)" % (time, self.now))
         _heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_call(self, delay: int, fn: Callable, arg) -> None:
+        """Run ``fn(arg)`` ``delay`` cycles from now.
+
+        The one-argument fast lane shared with the calendar-queue core:
+        callers on per-message paths (the mesh, the L2 bank pipeline) hand
+        over ``(fn, arg)`` instead of closing over the argument themselves,
+        and each engine pairs them as cheaply as it can.  Here that is a
+        C-level ``partial``, which keeps the heap entries -- and therefore
+        the event order -- exactly what an explicit ``partial(fn, arg)``
+        would have produced.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%d)" % delay)
+        _heappush(self._queue, (self.now + delay, self._seq, partial(fn, arg)))
         self._seq += 1
 
     def stop(self) -> None:

@@ -1,0 +1,192 @@
+"""Calendar-queue engine: the fast core's event scheduler.
+
+Drop-in replacement for :class:`repro.sim.engine.Engine` selected by the
+fast core (``REPRO_CORE=fast`` / ``SystemConfig.core``).  The binary heap
+of ``(time, seq, callback)`` tuples is replaced by a *calendar queue*:
+
+* a ``dict`` mapping each pending cycle to its **bucket** -- a plain list
+  of callbacks in schedule order;
+* a small min-heap over the *distinct* bucket times (one entry per
+  bucket, so its size is the number of pending cycles, not the number of
+  pending events);
+* a freelist of retired bucket lists, so steady-state scheduling
+  allocates no containers at all.
+
+Why this matches the heap byte-for-byte: the heap orders events by
+``(time, seq)`` where ``seq`` is a global schedule counter, i.e. within
+one cycle events fire in schedule order.  A bucket *is* that order --
+append on schedule, index through on drain -- and the time heap replays
+buckets in ascending time.  Every semantic the oracle engine documents is
+preserved:
+
+* ties break in schedule order (bucket append order);
+* the **O(1) same-cycle lane**: an event scheduled *at the drain's own
+  cycle* from inside an event callback is appended to the live bucket and
+  executed by the same drain (the index pointer chases the growing list),
+  exactly as the heap's ``while queue[0][0] <= now`` pop loop would;
+* events scheduled at a cycle the clock already passed mid-tick (legal
+  via ``schedule_at(now)`` from a tick) are drained by the next
+  iteration, ascending-time first;
+* ``schedule(delay<0)`` / ``schedule_at(past)`` raise ``ValueError``;
+* ``peek_next_event`` is O(1): the time heap's root always owns a live,
+  non-empty bucket (both are retired together), so no lazy cleanup is
+  needed.
+
+``schedule_call(delay, fn, arg)`` stores the bare ``(fn, arg)`` pair in
+the bucket -- a tuple, cheaper than the ``partial`` the heap engine needs
+-- and the drain unpacks it.  This is also how the mesh's multi-message
+cycles batch: every delivery landing on one cycle sits in one bucket and
+drains in a single pass, with no per-message closure.
+
+Tick handling (register/activate/deactivate, the incrementally
+maintained ascending-tid order, sleep/wake accounting) is inherited from
+the oracle engine unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+
+class CalendarEngine(Engine):
+    """Bucketed discrete event + cycle hybrid simulation kernel."""
+
+    def __init__(self) -> None:
+        Engine.__init__(self)
+        #: cycle -> bucket (list of callbacks / ``(fn, arg)`` pairs, in
+        #: schedule order).  Invariant: a time is in ``_times`` iff its
+        #: bucket exists here, and live buckets are never empty.
+        self._buckets: dict[int, list] = {}
+        #: min-heap of the distinct pending cycles (one entry per bucket).
+        self._times: list[int] = []
+        #: retired bucket lists, recycled so scheduling is allocation-free
+        #: once the simulation reaches steady state.
+        self._free_buckets: list[list] = []
+
+    # ------------------------------------------------------------------
+    def _bucket_at(self, time: int) -> list:
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            free = self._free_buckets
+            bucket = free.pop() if free else []
+            self._buckets[time] = bucket
+            _heappush(self._times, time)
+        return bucket
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%d)" % delay)
+        time = self.now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:  # _bucket_at, inlined without the re-probe
+            free = self._free_buckets
+            bucket = free.pop() if free else []
+            self._buckets[time] = bucket
+            _heappush(self._times, time)
+        bucket.append(callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError("cannot schedule into the past (t=%d < now=%d)" % (time, self.now))
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            free = self._free_buckets
+            bucket = free.pop() if free else []
+            self._buckets[time] = bucket
+            _heappush(self._times, time)
+        bucket.append(callback)
+
+    def schedule_call(self, delay: int, fn: Callable, arg) -> None:
+        """Run ``fn(arg)`` ``delay`` cycles from now (the fast lane: the
+        pair is stored as-is and unpacked by the drain, no closure)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%d)" % delay)
+        time = self.now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            free = self._free_buckets
+            bucket = free.pop() if free else []
+            self._buckets[time] = bucket
+            _heappush(self._times, time)
+        bucket.append((fn, arg))
+
+    # ------------------------------------------------------------------
+    def peek_next_event(self) -> int | None:
+        return self._times[0] if self._times else None
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Identical contract to :meth:`Engine.run` (see the oracle)."""
+        self._stopped = False
+        deadline = self.now + max_cycles
+        times = self._times
+        buckets = self._buckets
+        active = self._active
+        events = 0
+        cycles = 0
+        try:
+            while not self._stopped:
+                now = self.now
+                if times and times[0] <= now:
+                    # Batch-drain every due bucket, ascending time, each in
+                    # schedule order.  Same-cycle appends land on the live
+                    # bucket and are chased by the index pointer.
+                    self._in_event_phase = True
+                    free = self._free_buckets
+                    while times and times[0] <= now:
+                        t = times[0]
+                        bucket = buckets[t]
+                        i = 0
+                        blen = len(bucket)
+                        while i < blen:
+                            item = bucket[i]
+                            i += 1
+                            if item.__class__ is tuple:
+                                item[0](item[1])
+                            else:
+                                item()
+                            if i == blen:
+                                # Same-cycle appends grow the live bucket;
+                                # re-measure only at the boundary instead
+                                # of calling len() every iteration.
+                                blen = len(bucket)
+                        events += i
+                        _heappop(times)
+                        del buckets[t]
+                        bucket.clear()
+                        free.append(bucket)
+                    self._in_event_phase = False
+                    if self._stopped:
+                        break
+                if active:
+                    order = self._order
+                    if self._order_dirty:
+                        order = self._order = sorted(active)
+                        self._order_dirty = False
+                    get = active.get
+                    for tid in order:
+                        tickable = get(tid)
+                        if tickable is not None:
+                            tickable.tick()
+                    self.now = now + 1
+                    cycles += 1
+                else:
+                    if not times:
+                        break
+                    nxt = times[0]
+                    if nxt > now:
+                        self.now = nxt
+                if self.now > deadline:
+                    raise RuntimeError(
+                        "simulation exceeded %d cycles; likely livelock" % max_cycles
+                    )
+        finally:
+            self.events_processed += events
+            self.cycles_ticked += cycles
+        return self.now

@@ -20,10 +20,12 @@ from repro.core.attribution import Inspector
 from repro.core.breakdown import StallBreakdown
 from repro.core.component import Component, StatsSnapshot
 from repro.cpu.core import CpuCore
+from repro.fastcore import resolve_core
 from repro.gpu.kernel import Kernel
 from repro.gpu.sm import SM
+from repro.gpu.sm_fast import FastSM
 from repro.gpu.tb_scheduler import ThreadBlockScheduler
-from repro.mem.cache import SetAssocCache
+from repro.mem.cache import FlatSetAssocCache, SetAssocCache
 from repro.mem.coherence import make_protocol
 from repro.mem.coherence.denovo import DeNovoCoherence
 from repro.mem.dma import DmaEngine
@@ -37,6 +39,7 @@ from repro.noc.mesh import Mesh
 from repro.noc.message import Message, MsgType
 from repro.sim.config import LocalMemory, SystemConfig
 from repro.sim.engine import Engine
+from repro.sim.engine_fast import CalendarEngine
 
 _L2_REQUESTS = frozenset(
     {MsgType.GETS, MsgType.PUT_WT, MsgType.GETO, MsgType.ATOMIC, MsgType.WB_OWNED}
@@ -108,7 +111,13 @@ class System(Component):
     def __init__(self, config: SystemConfig) -> None:
         Component.__init__(self, "system")
         self.config = config
-        self.engine = Engine()
+        #: resolved engine core ("python" or "fast"); see repro.fastcore.
+        #: The two cores are byte-identical by contract -- the fast core
+        #: swaps in the calendar-queue scheduler, the inlined SM frontend
+        #: and the flat tag arrays, all oracle-checked in CI.
+        self.core = resolve_core(config.core)
+        fast = self.core == "fast"
+        self.engine = CalendarEngine() if fast else Engine()
         self.add_child(self.engine)
         self.mesh = Mesh(
             self.engine,
@@ -149,6 +158,7 @@ class System(Component):
             self.dram,
             spec=shared_specs[0],
             next_levels=self.shared_levels,
+            cache_cls=FlatSetAssocCache if fast else SetAssocCache,
         )
         self.add_child(self.l2)
         self.inspector = Inspector(
@@ -176,7 +186,9 @@ class System(Component):
                 key = (spec.name, sm_id // spec.cluster_size)
                 tags = cluster_tags.get(key)
                 if tags is None:
-                    tags = cluster_tags[key] = SetAssocCache(
+                    tags = cluster_tags[key] = (
+                        FlatSetAssocCache if fast else SetAssocCache
+                    )(
                         spec.size // (config.line_size * spec.assoc),
                         spec.assoc,
                         name=spec.name,
@@ -205,6 +217,7 @@ class System(Component):
                 self.memory,
                 levels=core_specs,
                 shared_tags=_cluster_tags_for(sm_id),
+                fast=fast,
             )
             self._l1_by_node[node] = l1
             scratchpad = dma = stash = None
@@ -221,7 +234,7 @@ class System(Component):
             attribution = (
                 self.inspector.sm(sm_id) if config.gsi_enabled else None
             )
-            sm = SM(
+            sm = (FastSM if fast else SM)(
                 sm_id,
                 node,
                 config,
@@ -246,6 +259,7 @@ class System(Component):
                 cpu_protocol,
                 self.memory,
                 levels=cpu_specs,
+                fast=fast,
             )
             self._l1_by_node[node] = l1
             cpu = CpuCore(cpu_id, node, l1)
@@ -265,16 +279,23 @@ class System(Component):
 
     # ------------------------------------------------------------------
     def _make_dispatcher(self, node: int):
+        # Every endpoint is known by the time dispatchers are attached, so
+        # the handlers bind once here instead of being re-resolved on each
+        # of the millions of delivered messages.
+        l2_requests = _L2_REQUESTS
+        l2_handle = self.l2.handle_message
+        l1 = self._l1_by_node.get(node)
+        l1_handle = None if l1 is None else l1.handle_message
+
         def dispatch(msg: Message) -> None:
-            if msg.mtype in _L2_REQUESTS:
-                self.l2.handle_message(msg)
-                return
-            l1 = self._l1_by_node.get(node)
-            if l1 is None:
+            if msg.mtype in l2_requests:
+                l2_handle(msg)
+            elif l1_handle is not None:
+                l1_handle(msg)
+            else:
                 raise RuntimeError(
                     "response %r delivered to core-less node %d" % (msg, node)
                 )
-            l1.handle_message(msg)
 
         return dispatch
 

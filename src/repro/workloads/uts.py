@@ -104,6 +104,12 @@ class _TaskQueue:
         self.slots = REGION_QUEUE_DATA + queue_id * _QUEUE_STRIDE
         self.lock_addr = REGION_LOCKS + queue_id * 0x100
         self.capacity = capacity
+        # The spin loop yields this exact CAS hundreds of thousands of
+        # times per run; instructions are immutable, so one shared object
+        # serves every attempt by every warp.
+        self.lock_cas = Instruction.atomic_cas(
+            self.lock_addr, 0, 1, acquire=True, tag="lock"
+        )
 
     def slot_addr(self, index: int) -> int:
         return self.slots + (index % self.capacity) * 4
@@ -158,7 +164,9 @@ class UtsWorkload(Workload):
 
         def factory(tb: int, w: int):
             def program(ctx: WarpContext):
-                yield from _uts_worker(
+                # Returns the worker generator directly (no `yield from`
+                # wrapper): one frame fewer on every instruction yield.
+                return _uts_worker(
                     ctx,
                     local_queue=None,
                     global_queue=queue,
@@ -203,8 +211,9 @@ class UtsdWorkload(UtsWorkload):
         def factory(tb: int, w: int):
             def program(ctx: WarpContext):
                 # The local queue is chosen by the SM the warp actually runs
-                # on, preserving producer/consumer locality.
-                yield from _uts_worker(
+                # on, preserving producer/consumer locality.  Returns the
+                # worker generator directly (no `yield from` wrapper).
+                return _uts_worker(
                     ctx,
                     local_queue=local_queues[ctx.sm_id],
                     global_queue=global_queue,
@@ -224,19 +233,23 @@ class UtsdWorkload(UtsWorkload):
 # The worker program shared by UTS (local_queue=None) and UTSD.
 # ---------------------------------------------------------------------------
 
-def _acquire(lock_addr: int, rng):
-    """Spin on CAS-with-acquire until the lock is taken.
+# Backoff nops, one per possible fetch delay: the spin loop draws a delay
+# in [0, 12) and yields the matching shared instruction.
+_BACKOFF_NOPS = tuple(
+    Instruction.nop(fetch_delay=d, tag="backoff") for d in range(12)
+)
+_RETRY_NOP = Instruction.nop(fetch_delay=2, tag="retry")
 
-    Failed attempts insert a small randomized backoff (a handful of fetch
-    cycles).  Besides being what real spin loops do, this breaks the
-    deterministic phase alignment that can otherwise starve one contender
-    forever in a noise-free simulation.
-    """
-    while True:
-        old = yield Instruction.atomic_cas(lock_addr, 0, 1, acquire=True, tag="lock")
-        if old == 0:
-            return
-        yield Instruction.nop(fetch_delay=rng.randrange(0, 12), tag="backoff")
+
+# The CAS-with-acquire spin loop appears inline in ``_try_pop`` and
+# ``_push_batch`` rather than as a shared ``yield from`` helper: it is the
+# hottest yield in the workload and sits one generator frame shallower
+# this way.  Failed attempts insert a small randomized backoff (a handful
+# of fetch cycles).  Besides being what real spin loops do, this breaks
+# the deterministic phase alignment that can otherwise starve one
+# contender forever in a noise-free simulation.  The backoff draw uses
+# ``rng._randbelow(12)``, the exact primitive ``rng.randrange(0, 12)``
+# reduces to -- same stream, without the argument-normalization wrapper.
 
 
 def _release(lock_addr: int):
@@ -246,7 +259,13 @@ def _release(lock_addr: int):
 def _try_pop(queue: _TaskQueue, rng):
     """Pop under the queue's lock.  Yields instructions; returns the node id
     or None if the queue was empty."""
-    yield from _acquire(queue.lock_addr, rng)
+    cas = queue.lock_cas
+    randbelow = rng._randbelow
+    while True:
+        old = yield cas
+        if old == 0:
+            break
+        yield _BACKOFF_NOPS[randbelow(12)]
     head = yield Instruction.load(
         [queue.head_addr], dst=1, returns_value=True, tag="head"
     )
@@ -268,7 +287,13 @@ def _push_batch(queue: _TaskQueue, nodes: list[int], respect_capacity: bool, rng
     """Push under the queue's lock.  Returns the list that did NOT fit."""
     if not nodes:
         return []
-    yield from _acquire(queue.lock_addr, rng)
+    cas = queue.lock_cas
+    randbelow = rng._randbelow
+    while True:
+        old = yield cas
+        if old == 0:
+            break
+        yield _BACKOFF_NOPS[randbelow(12)]
     head = yield Instruction.load(
         [queue.head_addr], dst=1, returns_value=True, tag="head"
     )
@@ -302,6 +327,9 @@ def _uts_worker(
 ):
     """One warp's task loop: pop, process, push children, until done."""
     lo, hi = work_range
+    done_load = Instruction.load(
+        [done_addr], dst=4, returns_value=True, tag="done"
+    )
     while True:
         node = None
         if local_queue is not None:
@@ -309,14 +337,12 @@ def _uts_worker(
         if node is None:
             node = yield from _try_pop(global_queue, ctx.rng)
         if node is None:
-            done = yield Instruction.load(
-                [done_addr], dst=4, returns_value=True, tag="done"
-            )
+            done = yield done_load
             if done >= total:
                 return
             # Irregular control: the retry path re-fetches with a small
             # divergence penalty.
-            yield Instruction.nop(fetch_delay=2, tag="retry")
+            yield _RETRY_NOP
             continue
         # --- process the node: payload reads + data-dependent compute.
         # One load per payload line, each feeding compute, so processing

@@ -27,10 +27,10 @@ class TestReleaseOrdering:
         order = []
         original = system.l2._service
 
-        def spy(msg, bank):
+        def spy(msg):
             if msg.mtype in (MsgType.PUT_WT, MsgType.ATOMIC):
                 order.append(msg.mtype)
-            return original(msg, bank)
+            return original(msg)
 
         system.l2._service = spy
 
