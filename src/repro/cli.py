@@ -16,6 +16,10 @@ Examples::
     python -m repro trace replay uts.gsitrace --verify
     python -m repro trace replay uts.gsitrace --mshr 8 --store-buffer 8
     python -m repro trace info uts.gsitrace
+    python -m repro run streaming --telemetry run.jsonl --sample-every 2000
+    python -m repro run uts --timeline run.trace.json
+    python -m repro campaign --fast --telemetry tel/ --timeline cells.trace.json
+    python -m repro telemetry summarize run.jsonl
     python -m repro list
     python -m repro table51
 
@@ -29,6 +33,14 @@ first-class run/record/sweep axis.  ``--set FIELD=VALUE`` overrides any
 ``campaign`` runs a whole workload-fleet x hierarchy x protocol cross
 product through the cached parallel executor and prints the stall
 attribution matrix; see the README's "Campaigns" section.
+
+``--telemetry`` / ``--timeline`` attach the in-flight telemetry subsystem
+(:mod:`repro.obs`): a sampled stat time-series (JSONL + CSV) and a Chrome
+trace-event timeline viewable in Perfetto.  On ``run``, ``--timeline``
+doubles as the classic windowed ASCII timeline when given an integer
+bucket size, or a trace-file path otherwise.  Telemetry is provably
+inert: results are byte-identical with it on or off (see the README's
+"Observability" section).
 """
 
 from __future__ import annotations
@@ -122,6 +134,22 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
                         help="override any SystemConfig field (repeatable)")
 
 
+def _add_batch_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    """Telemetry/progress options shared by ``sweep`` and ``campaign``."""
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="write one telemetry series per executed cell "
+                             "into DIR (<scenario-key>.jsonl + .csv, plus an "
+                             "index.json name->key map)")
+    parser.add_argument("--sample-every", type=int, default=5000, metavar="N",
+                        help="per-cell telemetry sampling period in cycles "
+                             "(default: 5000)")
+    parser.add_argument("--timeline", metavar="OUT.trace.json", default=None,
+                        help="write the cells' wall-clock schedule as a "
+                             "Chrome trace-event timeline (open in Perfetto)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the live per-cell progress lines")
+
+
 def _load_hierarchy(path: str) -> dict:
     """Read a hierarchy spec file (JSON always; YAML when PyYAML exists)."""
     from repro.experiments.spec import load_json_or_yaml
@@ -173,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the report to FILE")
     sweep.add_argument("--cache", metavar="DIR", default=None,
                        help="on-disk scenario result cache")
+    _add_batch_telemetry_options(sweep)
 
     campaign = sub.add_parser(
         "campaign",
@@ -198,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cache", metavar="DIR", default=None,
                           help="on-disk scenario result cache (a repeated "
                                "campaign is served entirely from it)")
+    _add_batch_telemetry_options(campaign)
 
     bench = sub.add_parser(
         "bench",
@@ -226,8 +256,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one workload and print the breakdown")
     _add_sim_options(run)
-    run.add_argument("--timeline", type=int, default=None, metavar="CYCLES",
-                     help="enable windowed timelines with this bucket size")
+    run.add_argument("--timeline", default=None, metavar="CYCLES|OUT.trace.json",
+                     help="an integer enables the windowed ASCII timeline "
+                          "with that bucket size; anything else is a Chrome "
+                          "trace-event output path (open in Perfetto / "
+                          "chrome://tracing)")
+    run.add_argument("--telemetry", metavar="OUT.jsonl", default=None,
+                     help="sample the stats tree into a JSONL time-series "
+                          "(+ sibling .csv); provably inert")
+    run.add_argument("--sample-every", type=int, default=5000, metavar="N",
+                     help="telemetry sampling period in cycles (default: 5000)")
+    run.add_argument("--sample-stats", action="append", default=[], metavar="PAT",
+                     help="extra fnmatch pattern over flattened stat paths to "
+                          "sample (repeatable; adds to the default columns)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress telemetry heartbeat lines on stderr")
     run.add_argument("--energy", action="store_true", help="print energy report")
     run.add_argument("--stats", action="store_true",
                      help="print the full component stats tree")
@@ -275,16 +318,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = tsub.add_parser("info", help="print a trace file's provenance")
     info.add_argument("file")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="inspect in-flight telemetry artifacts"
+    )
+    telsub = telemetry.add_subparsers(dest="telemetry_command", required=True)
+    summarize = telsub.add_parser(
+        "summarize", help="render a sampled stat time-series to text or CSV"
+    )
+    summarize.add_argument("file", help="JSONL series written by --telemetry")
+    summarize.add_argument("--format", choices=["text", "csv"], default="text",
+                           dest="fmt")
+    summarize.add_argument("--columns", action="append", default=[],
+                           metavar="PAT",
+                           help="fnmatch filter over column names (repeatable)")
     return parser
 
 
 def cmd_run(args) -> int:
+    # --timeline is polymorphic: an integer keeps the classic windowed
+    # ASCII timeline; anything else is a Chrome trace-event output path.
+    timeline_window = None
+    timeline_out = None
+    if args.timeline is not None:
+        if args.timeline.isdigit():
+            timeline_window = int(args.timeline)
+        else:
+            timeline_out = args.timeline
     try:
-        config = _config_from_args(args, timeline=args.timeline)
+        config = _config_from_args(args, timeline=timeline_window)
     except (OSError, TypeError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     workload = WORKLOADS[args.workload](args)
+    telemetry = None
+    if args.telemetry or timeline_out:
+        if args.sample_every < 1:
+            print("error: --sample-every must be >= 1", file=sys.stderr)
+            return 2
+        from repro.obs import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            out=args.telemetry,
+            sample_every=args.sample_every,
+            stats_patterns=tuple(args.sample_stats),
+            timeline_out=timeline_out,
+            heartbeat=not args.quiet,
+            label=args.workload,
+        )
     if args.profile:
         # Profile exactly the simulation (workload build + run), not the
         # CLI's own reporting; the stats file is standard pstats.
@@ -292,7 +373,7 @@ def cmd_run(args) -> int:
         import pstats
 
         profiler = cProfile.Profile()
-        result = profiler.runcall(run_workload, config, workload)
+        result = profiler.runcall(run_workload, config, workload, telemetry)
         profiler.dump_stats(args.profile)
         if args.profile_top > 0:
             stats = pstats.Stats(profiler)
@@ -300,7 +381,7 @@ def cmd_run(args) -> int:
             stats.print_stats(args.profile_top)
         print("profile written to %s" % args.profile)
     else:
-        result = run_workload(config, workload)
+        result = run_workload(config, workload, telemetry=telemetry)
     print(result.summary())
     print("execution: %d cycles, %d instructions, IPC %.3f" % (
         result.cycles, result.instructions, result.ipc))
@@ -310,12 +391,19 @@ def cmd_run(args) -> int:
     if args.per_sm:
         named = {"sm%d" % i: bd for i, bd in enumerate(result.per_sm)}
         print(format_table(named, baseline="sm0", title="per-SM breakdown"))
-    if args.timeline:
+    if timeline_window:
         print(render_timeline(result.timeline))
     if args.energy:
         print(estimate_energy(result).render())
     if args.stats:
         print(format_stats_tree(result.stats_tree))
+    if args.telemetry:
+        print("telemetry series: %s (summarize with 'repro telemetry "
+              "summarize %s')" % (args.telemetry, args.telemetry),
+              file=sys.stderr)
+    if timeline_out:
+        print("timeline trace: %s (open in https://ui.perfetto.dev or "
+              "chrome://tracing)" % timeline_out, file=sys.stderr)
     return 0
 
 
@@ -331,7 +419,11 @@ def cmd_sweep(args) -> int:
     except (OSError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
-    records = execute(scenarios, jobs=args.jobs, cache_dir=args.cache)
+    progress, telemetry = _batch_telemetry(args)
+    records = execute(scenarios, jobs=args.jobs, cache_dir=args.cache,
+                      progress=progress, telemetry=telemetry)
+    if args.timeline:
+        _write_cells_timeline(args.timeline, records)
     breakdowns = {r.scenario.name: r.result.breakdown for r in records}
     if args.fmt == "json":
         report = json.dumps(
@@ -340,7 +432,15 @@ def cmd_sweep(args) -> int:
     elif args.fmt == "csv":
         report = to_csv(breakdowns)
     else:
-        lines = ["sweep: %d scenario(s) from %s" % (len(records), args.file)]
+        cached = sum(1 for r in records if r.cached)
+        # mention the cache only when it actually served something (and
+        # keep 'cached' out of fully-fresh output)
+        counts = (
+            " (%d cached, %d executed)" % (cached, len(records) - cached)
+            if cached else ""
+        )
+        lines = ["sweep: %d scenario(s) from %s%s"
+                 % (len(records), args.file, counts)]
         for r in records:
             lines.append(
                 "  %-40s %10d cycles  %s%s"
@@ -372,6 +472,33 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _batch_telemetry(args):
+    """(progress, telemetry) pair for the sweep/campaign executors."""
+    progress = None
+    if not args.quiet:
+        from repro.obs import cell_progress_printer
+
+        progress = cell_progress_printer()
+    telemetry = None
+    if args.telemetry:
+        telemetry = {
+            "out_dir": args.telemetry,
+            "sample_every": args.sample_every,
+        }
+    return progress, telemetry
+
+
+def _write_cells_timeline(path: str, records) -> None:
+    import json
+
+    from repro.obs import cells_trace
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(cells_trace(records), fh)
+    print("cells timeline: %s (open in https://ui.perfetto.dev or "
+          "chrome://tracing)" % path, file=sys.stderr)
+
+
 def cmd_campaign(args) -> int:
     import json
 
@@ -393,10 +520,14 @@ def cmd_campaign(args) -> int:
             hierarchies=args.hierarchies.split(",") if args.hierarchies else None,
             protocols=args.protocols.split(",") if args.protocols else None,
         )
-        result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache)
+        progress, telemetry = _batch_telemetry(args)
+        result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache,
+                              progress=progress, telemetry=telemetry)
     except (OSError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    if args.timeline:
+        _write_cells_timeline(args.timeline, result.records)
     if args.fmt == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     elif args.fmt == "csv":
@@ -596,6 +727,18 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    from repro.obs import summarize_series
+
+    try:
+        print(summarize_series(args.file, fmt=args.fmt,
+                               columns=args.columns or None), end="")
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -615,6 +758,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "telemetry":
+        return cmd_telemetry(args)
     return cmd_run(args)
 
 

@@ -58,16 +58,22 @@ def format_table(
     header = "%-22s" % "stall type" + "".join("%14s" % n for n in names)
     out.write(header + "\n")
     out.write("-" * len(header) + "\n")
+    # A zero-cycle baseline (empty kernel, zero-cycle run) renders as all
+    # zeros instead of raising; the nonzero path is numerically identical
+    # to StallBreakdown.normalized_to.
+    base_total = base.total_cycles
     for stall in STALL_ORDER:
         row = "%-22s" % stall.value
         for n in names:
-            norm = breakdowns[n].normalized_to(base)[stall]
+            norm = breakdowns[n].counts[stall] / base_total if base_total else 0.0
             row += "%14.4f" % norm
         out.write(row + "\n")
     out.write("-" * len(header) + "\n")
     row = "%-22s" % "total"
     for n in names:
-        row += "%14.4f" % (breakdowns[n].total_cycles / base.total_cycles)
+        row += "%14.4f" % (
+            breakdowns[n].total_cycles / base_total if base_total else 0.0
+        )
     out.write(row + "\n")
     return out.getvalue()
 

@@ -256,6 +256,10 @@ class CampaignResult:
         return sum(1 for r in self.records if r.cached)
 
     @property
+    def executed_count(self) -> int:
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
     def fully_cached(self) -> bool:
         return all(r.cached for r in self.records)
 
@@ -281,8 +285,9 @@ class CampaignResult:
         rows = self.matrix_rows()
         lines = [
             "=== campaign %s: %d workloads x %d hierarchies x %d protocols "
-            "= %d cells (%d cached) ==="
-            % (self.spec.name, w, h, p, len(self.records), self.cached_count),
+            "= %d cells (%d cached, %d executed) ==="
+            % (self.spec.name, w, h, p, len(self.records),
+               self.cached_count, self.executed_count),
             "",
             format_campaign_matrix(rows),
         ]
@@ -344,10 +349,22 @@ class CampaignResult:
 
 
 def run_campaign(
-    spec: CampaignSpec, jobs: int = 1, cache_dir: "str | None" = None
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache_dir: "str | None" = None,
+    progress=None,
+    telemetry: "dict | None" = None,
 ) -> CampaignResult:
-    """Execute every cell (fanned out / cache-served) and wrap the matrix."""
-    records = execute(spec.scenarios(), jobs=jobs, cache_dir=cache_dir)
+    """Execute every cell (fanned out / cache-served) and wrap the matrix.
+
+    ``progress`` and ``telemetry`` pass straight through to
+    :func:`repro.experiments.executor.execute` (live per-cell lines and
+    per-cell telemetry series keyed by scenario hash).
+    """
+    records = execute(
+        spec.scenarios(), jobs=jobs, cache_dir=cache_dir,
+        progress=progress, telemetry=telemetry,
+    )
     return CampaignResult(spec=spec, records=records)
 
 

@@ -1,0 +1,38 @@
+"""In-flight telemetry: stat sampling, timelines, structured progress.
+
+The simulator's Component/Stats tree is snapshot-only -- everything is
+visible *after* a run.  This package adds the in-flight view without
+touching the hot loop: a :class:`TelemetrySession` schedules *observer
+events* on the engine (:meth:`repro.sim.engine.Engine.schedule_observer`),
+which ride the normal event queue but are excluded from event accounting,
+so a run with telemetry attached produces a byte-identical
+:class:`~repro.system.SimResult` to one without -- under both cores.
+When telemetry is off, nothing here is even imported by the run path.
+
+Artifacts:
+
+* ``OUT.jsonl`` (+ sibling ``OUT.csv``) -- columnar stat time-series with
+  per-sample deltas (:mod:`repro.obs.series`);
+* ``OUT.trace.json`` -- Chrome trace-event / Perfetto timeline of per-SM
+  stall intervals and engine event churn (:mod:`repro.obs.trace_event`);
+* heartbeat lines on stderr and in the JSONL (:mod:`repro.obs.progress`).
+"""
+
+from repro.obs.progress import cell_progress_printer, format_heartbeat, new_run_id
+from repro.obs.series import SeriesWriter, read_series
+from repro.obs.session import TelemetryConfig, TelemetrySession
+from repro.obs.summarize import summarize_series
+from repro.obs.trace_event import TraceEventBuilder, cells_trace
+
+__all__ = [
+    "TelemetryConfig",
+    "TelemetrySession",
+    "TraceEventBuilder",
+    "SeriesWriter",
+    "read_series",
+    "cells_trace",
+    "cell_progress_printer",
+    "format_heartbeat",
+    "new_run_id",
+    "summarize_series",
+]

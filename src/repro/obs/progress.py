@@ -1,0 +1,75 @@
+"""Run identity, heartbeat formatting, and live cell progress.
+
+Shared by the single-run telemetry session (heartbeats on stderr / in the
+JSONL series) and the scenario executor (a one-line report per campaign
+cell as it completes).
+"""
+
+from __future__ import annotations
+
+import sys
+import uuid
+from typing import Callable, TextIO
+
+
+def new_run_id() -> str:
+    """Short opaque id tying one run's artifacts and log lines together."""
+    return uuid.uuid4().hex[:12]
+
+
+def _si(value: float) -> str:
+    """Compact human magnitude: 1234567 -> '1.2M'."""
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= cut:
+            return "%.1f%s" % (value / cut, suffix)
+    return "%.0f" % value
+
+
+def format_eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return "%.0fs" % seconds
+    if seconds < 3600:
+        return "%dm%02ds" % (int(seconds) // 60, int(seconds) % 60)
+    return "%dh%02dm" % (int(seconds) // 3600, (int(seconds) % 3600) // 60)
+
+
+def format_heartbeat(rec: dict) -> str:
+    """One stderr line from a heartbeat record (see TelemetrySession)."""
+    parts = [
+        "[repro %s]" % rec.get("run", "run"),
+        "cycle=%s" % _si(float(rec.get("cycle", 0))),
+        "events=%s" % _si(float(rec.get("events", 0))),
+    ]
+    cps = rec.get("cycles_per_s")
+    if cps is not None:
+        parts.append("cyc/s=%s" % _si(float(cps)))
+    frac = rec.get("progress")
+    if frac is not None:
+        parts.append("blocks=%d/%d" % (rec.get("blocks_done", 0), rec.get("blocks_total", 0)))
+        parts.append("eta=%s" % format_eta(rec.get("eta_s")))
+    return " ".join(parts)
+
+
+def cell_progress_printer(stream: TextIO | None = None) -> Callable:
+    """Progress callback for :func:`repro.experiments.executor.execute`.
+
+    Prints one line per completed (or cache-served) cell::
+
+        [ 3/12] fig6.1:mesi-baseline        2.41s
+        [ 4/12] fig6.1:denovo-baseline      cached
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def progress(name: str, elapsed_s: float, cached: bool, done: int, total: int) -> None:
+        width = len(str(total))
+        status = "cached" if cached else "%.2fs" % elapsed_s
+        print(
+            "[%*d/%d] %-40s %s" % (width, done, total, name, status),
+            file=out,
+            flush=True,
+        )
+
+    return progress

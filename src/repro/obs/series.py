@@ -1,0 +1,116 @@
+"""Columnar stat time-series: JSONL records plus a sibling CSV.
+
+The JSONL stream is the machine-readable artifact (one self-describing
+record per line: ``header`` / ``sample`` / ``heartbeat`` / ``end``); the
+CSV is the plot-me-now view with one column per sampled stat and one
+``d.<stat>`` delta column per stat, so stall composition over time drops
+straight into a spreadsheet.  Both are flushed per record so a live run
+can be tailed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+
+def _jsonable(value):
+    """Coerce a stat value to something JSON can carry losslessly."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float, str)) or value is None:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class SeriesWriter:
+    """Streams one run's sampled stat series to JSONL (and optionally CSV)."""
+
+    def __init__(
+        self,
+        jsonl: TextIO,
+        columns: list[str],
+        csv: TextIO | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        self._jsonl = jsonl
+        self._csv = csv
+        self.columns = list(columns)
+        header = {"type": "header", "columns": self.columns}
+        if meta:
+            header.update(meta)
+        self._write(header)
+        if csv is not None:
+            cols = ["cycle", "wall_s"]
+            cols += self.columns
+            cols += ["d.%s" % c for c in self.columns]
+            csv.write(",".join(cols) + "\n")
+            csv.flush()
+
+    def _write(self, record: dict) -> None:
+        self._jsonl.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        self._jsonl.flush()
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        seq: int,
+        cycle: int,
+        wall_s: float,
+        values: dict[str, object],
+        deltas: dict[str, object],
+    ) -> None:
+        self._write(
+            {
+                "type": "sample",
+                "seq": seq,
+                "cycle": cycle,
+                "wall_s": round(wall_s, 6),
+                "values": {k: _jsonable(v) for k, v in values.items()},
+                "deltas": {k: _jsonable(v) for k, v in deltas.items()},
+            }
+        )
+        if self._csv is not None:
+            row = [str(cycle), "%.6f" % wall_s]
+            row += [str(_jsonable(values.get(c, ""))) for c in self.columns]
+            row += [str(_jsonable(deltas.get(c, ""))) for c in self.columns]
+            self._csv.write(",".join(row) + "\n")
+            self._csv.flush()
+
+    def heartbeat(self, record: dict) -> None:
+        out = {"type": "heartbeat"}
+        out.update(record)
+        self._write(out)
+
+    def end(self, record: dict) -> None:
+        out = {"type": "end"}
+        out.update(record)
+        self._write(out)
+
+
+def read_series(path: str) -> dict:
+    """Load a JSONL series back into ``{"header": ..., "samples": [...],
+    "heartbeats": [...], "end": ...}`` (unknown record types are kept under
+    ``"other"`` so the format can grow)."""
+    out: dict = {"header": None, "samples": [], "heartbeats": [], "end": None, "other": []}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if kind == "header":
+                out["header"] = rec
+            elif kind == "sample":
+                out["samples"].append(rec)
+            elif kind == "heartbeat":
+                out["heartbeats"].append(rec)
+            elif kind == "end":
+                out["end"] = rec
+            else:
+                out["other"].append(rec)
+    return out

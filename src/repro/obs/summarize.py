@@ -1,0 +1,91 @@
+"""Render a sampled telemetry series back to text or CSV.
+
+Backs ``repro telemetry summarize``: given the JSONL written by a
+:class:`~repro.obs.session.TelemetrySession`, print per-column start /
+end / delta / rate-per-kilocycle, or re-emit the samples as CSV for
+plotting without needing the sibling ``.csv`` around.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+from repro.obs.series import read_series
+
+
+def _select(columns: list[str], patterns: list[str] | None) -> list[str]:
+    if not patterns:
+        return list(columns)
+    return [c for c in columns if any(fnmatchcase(c, p) for p in patterns)]
+
+
+def summarize_series(path: str, fmt: str = "text", columns: list[str] | None = None) -> str:
+    """Summarize one JSONL series file; returns the rendered string."""
+    series = read_series(path)
+    header = series["header"]
+    if header is None:
+        raise ValueError("%s: not a telemetry series (no header record)" % path)
+    samples = series["samples"]
+    cols = _select(header["columns"], columns)
+
+    if fmt == "csv":
+        lines = [",".join(["cycle", "wall_s"] + cols)]
+        for sample in samples:
+            values = sample["values"]
+            row = [str(sample["cycle"]), str(sample["wall_s"])]
+            row += [str(values.get(c, "")) for c in cols]
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    if fmt != "text":
+        raise ValueError("unknown format %r" % fmt)
+
+    out = []
+    label = header.get("label") or "?"
+    out.append(
+        "telemetry %s  run=%s  label=%s  core=%s"
+        % (path, header.get("run", "?"), label, header.get("core", "?"))
+    )
+    if not samples:
+        out.append("(no samples)")
+        return "\n".join(out) + "\n"
+    first, last = samples[0], samples[-1]
+    cycles = last["cycle"] - first["cycle"]
+    wall = last["wall_s"] - first["wall_s"]
+    out.append(
+        "%d samples, every %s cycles; cycle %d -> %d (%d), %.3fs wall"
+        % (
+            len(samples),
+            header.get("sample_every", "?"),
+            first["cycle"],
+            last["cycle"],
+            cycles,
+            wall,
+        )
+    )
+    end = series["end"]
+    if end is not None:
+        out.append(
+            "run %s: %s cycles, %s events"
+            % ("completed" if end.get("ok") else "incomplete", end.get("cycle"), end.get("events"))
+        )
+    width = max([len(c) for c in cols] + [6])
+    out.append("")
+    out.append(
+        "%-*s %14s %14s %14s %12s" % (width, "column", "first", "last", "delta", "per kcycle")
+    )
+    for col in cols:
+        v0 = first["values"].get(col, 0)
+        v1 = last["values"].get(col, 0)
+        delta = v1 - v0
+        rate = (1000.0 * delta / cycles) if cycles else 0.0
+        out.append(
+            "%-*s %14s %14s %14s %12.2f" % (width, col, _fmt(v0), _fmt(v1), _fmt(delta), rate)
+        )
+    return "\n".join(out) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return "%.3f" % value
+    return "%d" % value

@@ -1,0 +1,203 @@
+"""Chrome trace-event (Perfetto) export.
+
+Produces the JSON object format understood by ``chrome://tracing`` and
+https://ui.perfetto.dev: ``{"traceEvents": [...]}`` with ``X`` complete
+events (1 simulated cycle == 1 trace microsecond), ``C`` counter events,
+``i`` instants and ``M`` metadata records.
+
+Two producers live here:
+
+* :class:`TraceEventBuilder` + :class:`StallTracks` -- a single run's
+  per-SM stall intervals (fed through the :class:`SmAttribution` tap) and
+  engine/stall counter tracks (fed by the telemetry sampler);
+* :func:`cells_trace` -- a sweep/campaign's cells as wall-clock spans on
+  per-worker tracks, so a 40-cell campaign shows its parallel schedule.
+"""
+
+from __future__ import annotations
+
+from repro.core.stall_types import StallType
+
+#: default cap on emitted span events; a runaway track degrades to a
+#: counted drop instead of an unboundedly growing JSON file.
+MAX_SPAN_EVENTS = 500_000
+
+
+class TraceEventBuilder:
+    """Accumulates trace events and renders the trace JSON dict."""
+
+    def __init__(self, max_span_events: int = MAX_SPAN_EVENTS) -> None:
+        self.events: list[dict] = []
+        self.max_span_events = max_span_events
+        self.dropped_spans = 0
+        self._spans = 0
+
+    # ------------------------------------------------------------------
+    def process_name(self, pid: int, name: str) -> None:
+        self.events.append(
+            {"ph": "M", "pid": pid, "name": "process_name", "args": {"name": name}}
+        )
+
+    def thread_name(self, pid: int, tid: int, name: str) -> None:
+        self.events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name", "args": {"name": name}}
+        )
+
+    def span(
+        self,
+        pid: int,
+        tid: int,
+        name: str,
+        ts: float,
+        dur: float,
+        cat: str = "sim",
+        args: dict | None = None,
+    ) -> None:
+        if self._spans >= self.max_span_events:
+            self.dropped_spans += 1
+            return
+        self._spans += 1
+        event = {
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "cat": cat,
+            "ts": ts,
+            "dur": dur,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, pid: int, name: str, ts: float, values: dict) -> None:
+        self.events.append(
+            {"ph": "C", "pid": pid, "tid": 0, "name": name, "cat": "sim", "ts": ts, "args": values}
+        )
+
+    def instant(self, pid: int, tid: int, name: str, ts: float, args: dict | None = None) -> None:
+        event = {"ph": "i", "pid": pid, "tid": tid, "name": name, "cat": "sim", "ts": ts, "s": "t"}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def to_dict(self, meta: dict | None = None) -> dict:
+        other = {"clock": "1 cycle = 1us"}
+        if self.dropped_spans:
+            other["dropped_spans"] = self.dropped_spans
+        if meta:
+            other.update(meta)
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": other,
+        }
+
+
+class StallTracks:
+    """Per-SM stall interval tracks, fed through ``SmAttribution.tap``.
+
+    Attribution arrives as ``(stall, detail, n, at)`` spans (``n`` cycles
+    starting at ``at``); consecutive same-stall spans are coalesced into
+    one trace event, so a 10k-cycle memory sleep is one bar, not 10k.
+    The taps *chain*: an already-installed observer (the trace recorder)
+    keeps seeing every span.
+    """
+
+    SM_PID = 1
+
+    def __init__(self, builder: TraceEventBuilder, num_sms: int) -> None:
+        self.builder = builder
+        builder.process_name(self.SM_PID, "SM stall attribution")
+        for sm_id in range(num_sms):
+            builder.thread_name(self.SM_PID, sm_id, "sm%d" % sm_id)
+        #: sm_id -> (stall, start, end) of the interval being coalesced
+        self._open: dict[int, tuple[StallType, int, int]] = {}
+        self._installed: list = []
+
+    # ------------------------------------------------------------------
+    def install(self, inspector) -> None:
+        """Chain a tap onto every SM's attribution sink."""
+        for attr in inspector.per_sm:
+            prev = attr.tap
+            attr.tap = self._make_tap(attr.sm_id, prev)
+            self._installed.append((attr, prev))
+
+    def uninstall(self) -> None:
+        for attr, prev in self._installed:
+            attr.tap = prev
+        self._installed = []
+
+    def _make_tap(self, sm_id: int, prev):
+        def tap(stall, detail, n, at):
+            if prev is not None:
+                prev(stall, detail, n, at)
+            if at is not None and n > 0:
+                self.record(sm_id, stall, n, at)
+
+        return tap
+
+    # ------------------------------------------------------------------
+    def record(self, sm_id: int, stall: StallType, n: int, at: int) -> None:
+        open_span = self._open.get(sm_id)
+        if open_span is not None:
+            prev_stall, start, end = open_span
+            if prev_stall is stall and at == end:
+                self._open[sm_id] = (stall, start, end + n)
+                return
+            self._flush(sm_id, open_span)
+        self._open[sm_id] = (stall, at, at + n)
+
+    def _flush(self, sm_id: int, span: tuple[StallType, int, int]) -> None:
+        stall, start, end = span
+        self.builder.span(self.SM_PID, sm_id, stall.value, float(start), float(end - start))
+
+    def close(self) -> None:
+        for sm_id, span in sorted(self._open.items()):
+            self._flush(sm_id, span)
+        self._open = {}
+
+
+def cells_trace(records, meta: dict | None = None) -> dict:
+    """Campaign/sweep cells as wall-clock timeline tracks.
+
+    ``records`` are :class:`~repro.experiments.executor.ScenarioRecord`
+    with wall-clock fields (``t_start_s``/``t_end_s``/``worker_pid``,
+    captured by the executor).  Executed cells become spans on one track
+    per worker process; cache-served cells (no timing) become instants at
+    t=0.  Times are seconds from the earliest cell start, rendered in
+    trace microseconds (so 1 trace us == 1 wall us here, unlike the
+    cycle-domain single-run trace).
+    """
+    builder = TraceEventBuilder()
+    pid = 1
+    builder.process_name(pid, "campaign cells")
+    timed = [r for r in records if not r.cached and r.t_start_s is not None]
+    t0 = min((r.t_start_s for r in timed), default=0.0)
+    workers = sorted({r.worker_pid or 0 for r in timed})
+    tid_of = {w: i for i, w in enumerate(workers)}
+    for worker in workers:
+        builder.thread_name(pid, tid_of[worker], "worker %s" % worker)
+    cached_tid = len(workers)
+    if any(r.cached for r in records):
+        builder.thread_name(pid, cached_tid, "cached")
+    for record in records:
+        name = record.scenario.name
+        if record.cached or record.t_start_s is None:
+            builder.instant(pid, cached_tid, "%s (cached)" % name, 0.0)
+            continue
+        ts = (record.t_start_s - t0) * 1e6
+        dur = max(record.t_end_s - record.t_start_s, 0.0) * 1e6
+        builder.span(
+            pid,
+            tid_of[record.worker_pid or 0],
+            name,
+            ts,
+            dur,
+            cat="cell",
+            args={"key": record.scenario.key(), "elapsed_s": record.elapsed_s},
+        )
+    out = dict(meta or {})
+    out["time_domain"] = "wall"
+    return builder.to_dict(out)

@@ -4,26 +4,31 @@ Drop-in replacement for :class:`repro.sim.engine.Engine` selected by the
 fast core (``REPRO_CORE=fast`` / ``SystemConfig.core``).  The binary heap
 of ``(time, seq, callback)`` tuples is replaced by a *calendar queue*:
 
-* a ``dict`` mapping each pending cycle to its **bucket** -- a plain list
-  of callbacks in schedule order;
+* a ``dict`` mapping each pending cycle to its **bucket** -- a deque of
+  callbacks in schedule order;
 * a small min-heap over the *distinct* bucket times (one entry per
   bucket, so its size is the number of pending cycles, not the number of
   pending events);
-* a freelist of retired bucket lists, so steady-state scheduling
+* a freelist of retired bucket deques, so steady-state scheduling
   allocates no containers at all.
 
 Why this matches the heap byte-for-byte: the heap orders events by
 ``(time, seq)`` where ``seq`` is a global schedule counter, i.e. within
 one cycle events fire in schedule order.  A bucket *is* that order --
-append on schedule, index through on drain -- and the time heap replays
+append on schedule, popleft on drain -- and the time heap replays
 buckets in ascending time.  Every semantic the oracle engine documents is
 preserved:
 
 * ties break in schedule order (bucket append order);
 * the **O(1) same-cycle lane**: an event scheduled *at the drain's own
   cycle* from inside an event callback is appended to the live bucket and
-  executed by the same drain (the index pointer chases the growing list),
+  executed by the same drain (the popleft loop chases the growing deque),
   exactly as the heap's ``while queue[0][0] <= now`` pop loop would;
+* pop-before-execute: like the heap drain, an event leaves the queue
+  before its callback runs, so ``pending_events()`` observed from inside
+  a callback counts exactly the not-yet-executed events (this is what
+  lets a telemetry sampler decide "no sim work remains" and stop
+  re-arming without dragging a drained run to its livelock deadline);
 * events scheduled at a cycle the clock already passed mid-tick (legal
   via ``schedule_at(now)`` from a tick) are drained by the next
   iteration, ascending-time first;
@@ -46,12 +51,14 @@ the oracle engine unchanged.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Callable
 
 from repro.sim.engine import Engine
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_deque = deque
 
 
 class CalendarEngine(Engine):
@@ -59,22 +66,23 @@ class CalendarEngine(Engine):
 
     def __init__(self) -> None:
         Engine.__init__(self)
-        #: cycle -> bucket (list of callbacks / ``(fn, arg)`` pairs, in
+        #: cycle -> bucket (deque of callbacks / ``(fn, arg)`` pairs, in
         #: schedule order).  Invariant: a time is in ``_times`` iff its
-        #: bucket exists here, and live buckets are never empty.
-        self._buckets: dict[int, list] = {}
+        #: bucket exists here, and live buckets are never empty outside
+        #: the drain of that very bucket.
+        self._buckets: dict[int, deque] = {}
         #: min-heap of the distinct pending cycles (one entry per bucket).
         self._times: list[int] = []
-        #: retired bucket lists, recycled so scheduling is allocation-free
+        #: retired bucket deques, recycled so scheduling is allocation-free
         #: once the simulation reaches steady state.
-        self._free_buckets: list[list] = []
+        self._free_buckets: list[deque] = []
 
     # ------------------------------------------------------------------
-    def _bucket_at(self, time: int) -> list:
+    def _bucket_at(self, time: int) -> deque:
         bucket = self._buckets.get(time)
         if bucket is None:
             free = self._free_buckets
-            bucket = free.pop() if free else []
+            bucket = free.pop() if free else _deque()
             self._buckets[time] = bucket
             _heappush(self._times, time)
         return bucket
@@ -87,7 +95,7 @@ class CalendarEngine(Engine):
         bucket = self._buckets.get(time)
         if bucket is None:  # _bucket_at, inlined without the re-probe
             free = self._free_buckets
-            bucket = free.pop() if free else []
+            bucket = free.pop() if free else _deque()
             self._buckets[time] = bucket
             _heappush(self._times, time)
         bucket.append(callback)
@@ -98,7 +106,7 @@ class CalendarEngine(Engine):
         bucket = self._buckets.get(time)
         if bucket is None:
             free = self._free_buckets
-            bucket = free.pop() if free else []
+            bucket = free.pop() if free else _deque()
             self._buckets[time] = bucket
             _heappush(self._times, time)
         bucket.append(callback)
@@ -112,7 +120,7 @@ class CalendarEngine(Engine):
         bucket = self._buckets.get(time)
         if bucket is None:
             free = self._free_buckets
-            bucket = free.pop() if free else []
+            bucket = free.pop() if free else _deque()
             self._buckets[time] = bucket
             _heappush(self._times, time)
         bucket.append((fn, arg))
@@ -121,6 +129,9 @@ class CalendarEngine(Engine):
     def peek_next_event(self) -> int | None:
         return self._times[0] if self._times else None
 
+    def pending_events(self) -> int:
+        return sum(map(len, self._buckets.values()))
+
     def run(self, max_cycles: int = 10_000_000) -> int:
         """Identical contract to :meth:`Engine.run` (see the oracle)."""
         self._stopped = False
@@ -128,7 +139,6 @@ class CalendarEngine(Engine):
         times = self._times
         buckets = self._buckets
         active = self._active
-        events = 0
         cycles = 0
         try:
             while not self._stopped:
@@ -136,32 +146,32 @@ class CalendarEngine(Engine):
                 if times and times[0] <= now:
                     # Batch-drain every due bucket, ascending time, each in
                     # schedule order.  Same-cycle appends land on the live
-                    # bucket and are chased by the index pointer.
+                    # bucket and are chased by the popleft loop.  Each event
+                    # is popped *before* it runs (the heap engine's contract)
+                    # so observers see an exact pending count, and the event
+                    # count is flushed once per batch so in-flight observers
+                    # see a live ``engine.events`` value.
+                    events = 0
                     self._in_event_phase = True
                     free = self._free_buckets
-                    while times and times[0] <= now:
-                        t = times[0]
-                        bucket = buckets[t]
-                        i = 0
-                        blen = len(bucket)
-                        while i < blen:
-                            item = bucket[i]
-                            i += 1
-                            if item.__class__ is tuple:
-                                item[0](item[1])
-                            else:
-                                item()
-                            if i == blen:
-                                # Same-cycle appends grow the live bucket;
-                                # re-measure only at the boundary instead
-                                # of calling len() every iteration.
-                                blen = len(bucket)
-                        events += i
-                        _heappop(times)
-                        del buckets[t]
-                        bucket.clear()
-                        free.append(bucket)
-                    self._in_event_phase = False
+                    try:
+                        while times and times[0] <= now:
+                            t = times[0]
+                            bucket = buckets[t]
+                            pop = bucket.popleft
+                            while bucket:
+                                item = pop()
+                                events += 1
+                                if item.__class__ is tuple:
+                                    item[0](item[1])
+                                else:
+                                    item()
+                            _heappop(times)
+                            del buckets[t]
+                            free.append(bucket)
+                    finally:
+                        self._in_event_phase = False
+                        self.events_processed += events
                     if self._stopped:
                         break
                 if active:
@@ -187,6 +197,5 @@ class CalendarEngine(Engine):
                         "simulation exceeded %d cycles; likely livelock" % max_cycles
                     )
         finally:
-            self.events_processed += events
             self.cycles_ticked += cycles
         return self.now

@@ -313,6 +313,10 @@ class System(Component):
         limit = kernel.warps_per_sm_limit or self.config.max_warps_per_sm
         scheduler = ThreadBlockScheduler(self.sms, kernel, limit)
         scheduler.on_kernel_complete = self._begin_teardown
+        # Exposed for observers only (telemetry ETA); the simulation never
+        # reads these back.
+        self.tb_scheduler = scheduler
+        self.total_thread_blocks = kernel.num_thread_blocks
         # Kernel launch is an acquire: GPU L1s self-invalidate.
         for sm in self.sms:
             sm.l1.acquire_invalidate()
@@ -456,16 +460,36 @@ def legacy_stats_view(
     return stats
 
 
-def run_workload(config: SystemConfig, workload) -> SimResult:
+def run_workload(config: SystemConfig, workload, telemetry=None) -> SimResult:
     """One-call convenience: configure, build, run.
 
     Workloads that carry their own runner (trace replays, which re-inject a
     recorded stream instead of building a kernel) are dispatched to it; the
     scenario executor and the CLI stay agnostic either way.
+
+    ``telemetry`` is an optional :class:`repro.obs.TelemetryConfig`; when
+    given, a session is attached around the run (and torn down on any
+    exit).  It observes through the engine's observer-event lane, so the
+    result is byte-identical either way.
     """
     config = workload.configure(config) if hasattr(workload, "configure") else config
     runner = getattr(workload, "replay_run", None)
     if runner is not None:
+        if telemetry is not None:
+            return runner(config, telemetry=telemetry)
         return runner(config)
     system = System(config)
-    return system.run(workload)
+    if telemetry is None:
+        return system.run(workload)
+    from repro.obs import TelemetrySession
+
+    if telemetry.label is None:
+        telemetry.label = getattr(workload, "name", None)
+    session = TelemetrySession(telemetry, system)
+    session.start()
+    result = None
+    try:
+        result = system.run(workload)
+    finally:
+        session.finalize(result)
+    return result

@@ -531,6 +531,27 @@ def replay_trace(
     trace: Trace,
     config: SystemConfig | None = None,
     overrides: dict | None = None,
+    telemetry=None,
 ):
-    """One-call replay; see :class:`TraceReplayer`."""
-    return TraceReplayer(trace, config=config, overrides=overrides).run()
+    """One-call replay; see :class:`TraceReplayer`.
+
+    ``telemetry`` optionally attaches a :class:`repro.obs.TelemetrySession`
+    around the replay (stat sampling and heartbeats work as in live runs;
+    stall-interval tracks stay empty because replay rebuilds breakdowns
+    from the recorded spans rather than feeding the inspector).
+    """
+    replayer = TraceReplayer(trace, config=config, overrides=overrides)
+    if telemetry is None:
+        return replayer.run()
+    from repro.obs import TelemetrySession
+
+    if telemetry.label is None:
+        telemetry.label = trace.workload
+    session = TelemetrySession(telemetry, replayer.system)
+    session.start()
+    result = None
+    try:
+        result = replayer.run()
+    finally:
+        session.finalize(result)
+    return result

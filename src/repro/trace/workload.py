@@ -96,12 +96,12 @@ class TraceReplayWorkload(Workload):
         """
         return cached_load(self.path).base_config().scaled(**self.overrides)
 
-    def replay_run(self, config: SystemConfig):
+    def replay_run(self, config: SystemConfig, telemetry=None):
         """Standalone runner used by :func:`repro.system.run_workload` in
         place of building a kernel."""
         from repro.trace.replay import replay_trace
 
-        return replay_trace(cached_load(self.path), config=config)
+        return replay_trace(cached_load(self.path), config=config, telemetry=telemetry)
 
     def build(self, system):  # pragma: no cover - defensive
         raise TypeError(

@@ -164,3 +164,96 @@ class TestSweep:
         captured = capsys.readouterr()
         assert "CHECK FAILED" in captured.out
         assert "expected-shape violations" in captured.err
+
+
+class TestTelemetry:
+    def test_run_with_telemetry_and_timeline_trace(self, tmp_path, capsys):
+        series = str(tmp_path / "run.jsonl")
+        trace = str(tmp_path / "run.trace.json")
+        assert main(
+            ["run", "streaming", "--sms", "2", "--quiet",
+             "--telemetry", series, "--sample-every", "500",
+             "--timeline", trace]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "execution:" in captured.out
+        assert series in captured.err and trace in captured.err
+        from repro.obs import read_series
+
+        assert read_series(series)["samples"]
+        payload = json.load(open(trace))
+        assert payload["traceEvents"]
+
+    def test_run_ascii_timeline_still_works(self, capsys):
+        # --timeline is polymorphic: a bare integer keeps the historical
+        # ASCII rendering, a path writes a Chrome trace
+        assert main(["run", "streaming", "--sms", "1", "--timeline", "128"]) == 0
+        assert "one column = 128 cycles" in capsys.readouterr().out
+
+    def test_run_rejects_bad_sample_every(self, capsys):
+        assert main(
+            ["run", "streaming", "--telemetry", "x.jsonl", "--sample-every", "0"]
+        ) == 2
+        assert "sample-every" in capsys.readouterr().err
+
+    def test_telemetry_summarize(self, tmp_path, capsys):
+        series = str(tmp_path / "run.jsonl")
+        main(["run", "streaming", "--sms", "2", "--quiet",
+              "--telemetry", series, "--sample-every", "500"])
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", series]) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out and "breakdown.memory_data" in out
+
+    def test_telemetry_summarize_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["telemetry", "summarize", str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert capsys.readouterr().err
+
+    def test_sweep_per_cell_telemetry(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(
+            json.dumps(
+                [
+                    {
+                        "name": "cell%d" % n,
+                        "workload": "streaming",
+                        "workload_args": {"num_tbs": 2, "warps_per_tb": 1},
+                        "config": {"num_sms": 2, "mshr_entries": 8 * n},
+                    }
+                    for n in (1, 2)
+                ]
+            )
+        )
+        out_dir = str(tmp_path / "tel")
+        trace = str(tmp_path / "cells.trace.json")
+        assert main(
+            ["sweep", str(spec), "--telemetry", out_dir,
+             "--sample-every", "400", "--timeline", trace]
+        ) == 0
+        captured = capsys.readouterr()
+        # progress lines ride stderr, one per cell, and never touch stdout
+        assert captured.err.count("cell1") == 1
+        assert captured.err.count("cell2") == 1
+        index = json.load(open(str(tmp_path / "tel" / "index.json")))
+        assert set(index["cells"]) == {"cell1", "cell2"}
+        cells = json.load(open(trace))
+        assert [e for e in cells["traceEvents"] if e["ph"] == "X"]
+
+    def test_sweep_quiet_suppresses_progress(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(
+            json.dumps(
+                [
+                    {
+                        "name": "solo",
+                        "workload": "streaming",
+                        "workload_args": {"num_tbs": 2, "warps_per_tb": 1},
+                        "config": {"num_sms": 2},
+                    }
+                ]
+            )
+        )
+        assert main(["sweep", str(spec), "--quiet"]) == 0
+        assert "solo" not in capsys.readouterr().err
