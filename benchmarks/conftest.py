@@ -45,6 +45,35 @@ _TIMINGS: list[dict] = []
 #: and its throwaway scenarios would pollute the tracked artifact).
 _RECORDING = False
 
+#: extra named sections for BENCH_engine.json, registered by benchmark
+#: tests via :func:`add_bench_section` and merged in at session flush
+#: (e.g. ``campaign_cells``, the replay-first campaign throughput row)
+_EXTRA_SECTIONS: dict[str, dict] = {}
+
+
+def add_bench_section(name: str, payload: dict) -> None:
+    """Attach a named section to ``BENCH_engine.json`` at session flush.
+
+    Per-scenario cycles/sec rows flow through the record hook; benchmarks
+    that measure something coarser (campaign throughput, end-to-end
+    pipelines) publish a whole section here instead.  Last writer per
+    name wins within a session; sections absent from this session are
+    carried through from the committed artifact untouched.
+
+    Tests must reach this through the ``bench_section`` fixture: pytest
+    imports this conftest under its own module name, so a plain
+    ``from benchmarks.conftest import add_bench_section`` can bind a
+    *second* module instance whose section dict the session flush never
+    reads.
+    """
+    _EXTRA_SECTIONS[name] = payload
+
+
+@pytest.fixture
+def bench_section():
+    """The session's :func:`add_bench_section` (see its docstring)."""
+    return add_bench_section
+
 
 def _timings_path() -> str:
     return os.environ.get(
@@ -93,14 +122,15 @@ def scenario_timing_artifact():
     executor.record_hook = _record
     yield
     executor.record_hook = previous
-    if not _TIMINGS:
+    if not _TIMINGS and not _EXTRA_SECTIONS:
         return
-    path = _timings_path()
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump({"scenarios": _TIMINGS}, fh, indent=2, sort_keys=True)
+    if _TIMINGS:
+        path = _timings_path()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"scenarios": _TIMINGS}, fh, indent=2, sort_keys=True)
     # One entry per scenario *key* (workload + args + config overrides):
     # several benchmarks re-run the same configuration under different
     # display names, and cross-commit comparison needs an unambiguous row
@@ -153,17 +183,18 @@ def scenario_timing_artifact():
         if (e.get("workload"), e.get("scenario")) not in fresh_names
     }
     merged.update(deduped)
-    bench = {
-        "unit": "simulated GPU cycles per host second",
-        section: sorted(
+    bench = {"unit": "simulated GPU cycles per host second"}
+    if merged:
+        bench[section] = sorted(
             merged.values(),
             key=lambda e: (e.get("workload") or "", e.get("scenario") or ""),
-        ),
-    }
-    # Carry the section this session did not touch through verbatim.
-    other = "scenarios" if section == "scenarios_fast" else "scenarios_fast"
-    if existing.get(other):
-        bench[other] = existing[other]
+        )
+    # Carry every section this session did not touch through verbatim
+    # (the other core's scenario rows, campaign_cells from a previous
+    # full session, future sections this conftest knows nothing about).
+    for name, value in existing.items():
+        bench.setdefault(name, value)
+    bench.update(_EXTRA_SECTIONS)
     parent = os.path.dirname(bench_path)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -184,6 +215,22 @@ def _scenario_recording_window():
     _RECORDING = True
     yield
     _RECORDING = False
+
+
+@pytest.fixture
+def pause_scenario_recording():
+    """Suppress per-scenario BENCH rows for one benchmark test.
+
+    Campaign-throughput benchmarks run the same cells as the matrix
+    benchmark but measure a different thing (replay-first scheduling, so
+    half the cells are trace replays); letting their records into the
+    per-scenario trajectory would mix replay wall-clock into execution
+    rows.  Such tests publish a section via :func:`add_bench_section`
+    instead.
+    """
+    global _RECORDING
+    _RECORDING = False
+    yield
 
 
 def run_once(benchmark, fn):

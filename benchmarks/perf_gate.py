@@ -45,6 +45,45 @@ def load_rows(path: str, section: str = "scenarios") -> dict:
     return out
 
 
+def load_campaign_cells(path: str) -> dict | None:
+    """The ``campaign_cells`` section (replay-first campaign throughput),
+    or None when the artifact predates it or the session didn't run the
+    campaign benchmark."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    section = payload.get("campaign_cells")
+    if not isinstance(section, dict):
+        return None
+    if not (section.get("planned") or {}).get("cells_per_min"):
+        return None
+    return section
+
+
+def compare_campaign(fresh: dict | None, committed: dict | None, tolerance: float) -> tuple:
+    """Gate campaign cells/min like a scenario row; skip cleanly when the
+    section is missing on either side."""
+    if fresh is None or committed is None:
+        return ["  campaign_cells: absent on one side; skipped"], [], False
+    got = fresh["planned"]["cells_per_min"]
+    want = committed["planned"]["cells_per_min"]
+    ratio = got / want if want else float("inf")
+    verdict = "ok"
+    regressions = []
+    if ratio < tolerance:
+        verdict = "REGRESSION"
+        regressions.append(
+            "campaign %s: %.0f cells/min < %.0f%% of committed %.0f"
+            % (fresh.get("campaign"), got, 100 * tolerance, want)
+        )
+    label = "campaign:%s (%d executed + %d replayed)" % (
+        fresh.get("campaign"),
+        fresh["planned"].get("executed", 0),
+        fresh["planned"].get("replayed", 0),
+    )
+    line = "  %-45s %10.0f vs %10.0f cells/min(%5.2fx)  %s" % (label, got, want, ratio, verdict)
+    return [line], regressions, True
+
+
 def compare(fresh: dict, committed: dict, tolerance: float) -> tuple:
     """Returns (report lines, regression lines) for the overlapping rows."""
     lines = []
@@ -106,13 +145,20 @@ def main(argv=None) -> int:
     try:
         fresh = load_rows(args.fresh, section)
         committed = load_rows(args.committed, section)
+        fresh_campaign = load_campaign_cells(args.fresh)
+        committed_campaign = load_campaign_cells(args.committed)
     except (OSError, ValueError) as exc:
         print("perf gate error: %s" % exc, file=sys.stderr)
         return 2
-    if not fresh:
+    if not fresh and not fresh_campaign:
         print("perf gate error: %s has no measured rows" % args.fresh, file=sys.stderr)
         return 2
     lines, regressions = compare(fresh, committed, args.tolerance)
+    campaign_lines, campaign_regressions, campaign_compared = compare_campaign(
+        fresh_campaign, committed_campaign, args.tolerance
+    )
+    lines += campaign_lines
+    regressions += campaign_regressions
     overlap = len(set(fresh) & set(committed))
     print(
         "perf gate: %d fresh row(s), %d overlapping committed row(s), "
@@ -120,7 +166,7 @@ def main(argv=None) -> int:
     )
     for line in lines:
         print(line)
-    if not overlap:
+    if not overlap and not campaign_compared:
         print(
             "perf gate error: no overlapping rows -- the gate compared "
             "nothing; regenerate the committed artifact",

@@ -4,7 +4,15 @@ Runs the stock workload-fleet campaign (5 workloads x 2 hierarchies x
 2 protocols) through the executor; the conftest's record hook turns every
 cell into a BENCH_engine.json perf-trajectory row, so campaign scenarios
 are guarded by the CI perf gate alongside the fig-6.x rows.
+
+A second benchmark measures the *replay-first* path: the same campaign
+planned into record + replay cells, timed cold against the plain serial
+run, published as the ``campaign_cells`` section of BENCH_engine.json
+(cells/min plus the executed / replayed / cached split) and gated by
+``perf_gate.py`` alongside the per-scenario rows.
 """
+
+import time
 
 from repro.experiments.campaign import default_campaign, run_campaign
 
@@ -22,3 +30,65 @@ def test_fleet_campaign_matrix(benchmark, show):
     for record in result.records:
         assert record.result.cycles > 0
         assert record.result.breakdown.total_cycles > 0
+
+
+def test_fleet_campaign_replay_first_throughput(
+    benchmark, show, tmp_path, bench_section, pause_scenario_recording
+):
+    """Cold planned (record + replay) vs cold serial campaign throughput."""
+    spec = default_campaign(fast=False)
+    cells = len(spec.scenarios())
+
+    t0 = time.perf_counter()
+    serial = run_campaign(spec, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    planned = run_once(
+        benchmark,
+        lambda: run_campaign(
+            spec, jobs=1, plan=True, trace_dir=str(tmp_path / "traces")
+        ),
+    )
+    planned_s = benchmark.stats.stats.total
+
+    assert len(planned.records) == len(serial.records) == cells
+    assert all(r.ok for r in planned.records)
+    assert planned.replayed_count > 0
+    # replay keeps the memory-side attribution live in every cell
+    for record in planned.records:
+        assert record.result.cycles > 0
+
+    def leg(result, wall_s):
+        return {
+            "wall_clock_s": round(wall_s, 6),
+            "cells_per_min": round(60.0 * cells / wall_s, 1) if wall_s else None,
+            "executed": sum(
+                1 for r in result.records
+                if not r.cached and r.scenario.workload != "trace"
+            ),
+            "replayed": result.replayed_count,
+            "cached": sum(1 for r in result.records if r.cached),
+        }
+
+    section = {
+        "campaign": spec.name,
+        "cells": cells,
+        "planned": leg(planned, planned_s),
+        "serial": leg(serial, serial_s),
+        "speedup": round(serial_s / planned_s, 3) if planned_s else None,
+    }
+    bench_section("campaign_cells", section)
+    show(
+        "replay-first: %d cells in %.2fs (%.0f cells/min, %d executed + %d "
+        "replayed) vs serial %.2fs (%.0f cells/min) -- %.2fx"
+        % (
+            cells,
+            planned_s,
+            section["planned"]["cells_per_min"],
+            section["planned"]["executed"],
+            section["planned"]["replayed"],
+            serial_s,
+            section["serial"]["cells_per_min"],
+            section["speedup"],
+        )
+    )

@@ -19,6 +19,12 @@ Examples::
     python -m repro run streaming --telemetry run.jsonl --sample-every 2000
     python -m repro run uts --timeline run.trace.json
     python -m repro campaign --fast --telemetry tel/ --timeline cells.trace.json
+    python -m repro campaign --workers 4 --cache .sim-cache
+    python -m repro campaign --queue /shared/q --workers 2 --cache /shared/cache
+    python -m repro worker --queue /shared/q
+    python -m repro cache info .sim-cache
+    python -m repro cache verify .sim-cache
+    python -m repro cache prune .sim-cache
     python -m repro telemetry summarize run.jsonl
     python -m repro list
     python -m repro table51
@@ -32,7 +38,14 @@ first-class run/record/sweep axis.  ``--set FIELD=VALUE`` overrides any
 
 ``campaign`` runs a whole workload-fleet x hierarchy x protocol cross
 product through the cached parallel executor and prints the stall
-attribution matrix; see the README's "Campaigns" section.
+attribution matrix; see the README's "Campaigns" section.  With a
+``--cache`` (or ``--trace-dir``/``--plan``) it routes cells through the
+replay-first planner -- each frontend-identity group records one
+``.gsitrace`` and serves its memory-side sweep cells as fast trace
+replays -- and with ``--workers N`` / ``--queue DIR`` it shards the
+campaign over a filesystem-backed work queue that any number of ``repro
+worker`` processes (local or on other machines) can drain; see the
+README's "Distributed campaigns" section.
 
 ``--telemetry`` / ``--timeline`` attach the in-flight telemetry subsystem
 (:mod:`repro.obs`): a sampled stat time-series (JSONL + CSV) and a Chrome
@@ -227,7 +240,73 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cache", metavar="DIR", default=None,
                           help="on-disk scenario result cache (a repeated "
                                "campaign is served entirely from it)")
+    plan_group = campaign.add_mutually_exclusive_group()
+    plan_group.add_argument("--plan", action="store_true", dest="plan",
+                            default=None,
+                            help="force the replay-first planner on: record "
+                                 "one trace per frontend-identity group and "
+                                 "serve memory-side sweep cells as replays "
+                                 "(default: on whenever --cache, --trace-dir, "
+                                 "--queue or --workers is given)")
+    plan_group.add_argument("--no-plan", action="store_false", dest="plan",
+                            help="force full execution for every cell")
+    campaign.add_argument("--trace-dir", metavar="DIR", default=None,
+                          help="where planner-recorded traces live (default: "
+                               "<cache>/traces)")
+    campaign.add_argument("--workers", type=int, default=0, metavar="N",
+                          help="shard the campaign over N local worker "
+                               "processes via a shared work queue (0 runs "
+                               "in-process; with --queue and 0 workers this "
+                               "command only coordinates and merges)")
+    campaign.add_argument("--queue", metavar="DIR", default=None,
+                          help="work-queue directory (shareable across "
+                               "machines; default: <cache>/queue/<name>); "
+                               "attach external workers with "
+                               "'repro worker --queue DIR'")
+    campaign.add_argument("--lease-expiry", type=float, default=300.0,
+                          metavar="S",
+                          help="reclaim a worker's claimed cell after its "
+                               "lease heartbeat goes stale this long "
+                               "(default: 300)")
     _add_batch_telemetry_options(campaign)
+
+    worker = sub.add_parser(
+        "worker", help="drain a distributed campaign queue until it settles"
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="queue directory created by "
+                             "'repro campaign --workers/--queue'")
+    worker.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="idle poll period while waiting for claimable "
+                             "tasks (default: 0.2)")
+    worker.add_argument("--lease-expiry", type=float, default=300.0, metavar="S",
+                        help="reclaim other workers' stale leases after this "
+                             "long (default: 300)")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after claiming N tasks (default: run "
+                             "until the campaign settles)")
+    worker.add_argument("--id", default=None, dest="worker_id", metavar="NAME",
+                        help="worker name recorded in completion markers "
+                             "(default: pid-<pid>)")
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the content-addressed result cache"
+    )
+    csub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("info", "entry count, bytes, version histogram"),
+        ("verify", "sweep every entry; quarantine corrupt ones to *.bad"),
+        ("prune", "remove quarantined/stale entries and orphan tmp files"),
+    ):
+        sub_cache = csub.add_parser(name, help=help_text)
+        sub_cache.add_argument("dir", help="cache directory (e.g. .sim-cache)")
+        sub_cache.add_argument("--json", action="store_true", dest="as_json",
+                               help="machine-readable output")
+        if name == "prune":
+            sub_cache.add_argument("--tmp-age", type=float, default=3600.0,
+                                   metavar="S",
+                                   help="only remove orphan *.tmp.* files "
+                                        "older than this (default: 3600)")
 
     bench = sub.add_parser(
         "bench",
@@ -501,6 +580,7 @@ def _write_cells_timeline(path: str, records) -> None:
 
 def cmd_campaign(args) -> int:
     import json
+    import os
 
     from repro.experiments.campaign import (
         default_campaign,
@@ -513,6 +593,18 @@ def cmd_campaign(args) -> int:
         print("error: --fast scales the built-in fleet campaign only; size "
               "a --spec campaign in its file instead", file=sys.stderr)
         return 2
+    distributed = args.workers > 0 or args.queue is not None
+    plan = args.plan
+    if plan is None:
+        # Replay-first by default wherever the traces have a durable home;
+        # a bare `repro campaign` (no cache, no queue) keeps executing
+        # every cell so its results stay byte-identical to earlier builds.
+        plan = distributed or args.cache is not None or args.trace_dir is not None
+    if distributed and not plan:
+        print("error: the distributed queue always runs the replay-first "
+              "plan; drop --no-plan (or drop --workers/--queue)",
+              file=sys.stderr)
+        return 2
     try:
         spec = load_campaign(args.spec) if args.spec else default_campaign(args.fast)
         spec = spec.subset(
@@ -521,9 +613,24 @@ def cmd_campaign(args) -> int:
             protocols=args.protocols.split(",") if args.protocols else None,
         )
         progress, telemetry = _batch_telemetry(args)
-        result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache,
-                              progress=progress, telemetry=telemetry)
-    except (OSError, ValueError) as exc:
+        if distributed:
+            from repro.experiments.dispatch import run_campaign_distributed
+
+            queue_dir = args.queue
+            if queue_dir is None:
+                queue_dir = os.path.join(args.cache or ".sim-cache",
+                                         "queue", spec.name)
+            result = run_campaign_distributed(
+                spec, workers=args.workers, queue_dir=queue_dir,
+                cache_dir=args.cache, trace_dir=args.trace_dir,
+                progress=progress, telemetry=telemetry,
+                lease_expiry_s=args.lease_expiry,
+            )
+        else:
+            result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache,
+                                  progress=progress, telemetry=telemetry,
+                                  plan=plan, trace_dir=args.trace_dir)
+    except (OSError, ValueError, RuntimeError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     if args.timeline:
@@ -727,6 +834,77 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    from repro.experiments.dispatch import QueueError, run_worker
+
+    try:
+        stats = run_worker(
+            args.queue,
+            poll_s=args.poll,
+            lease_expiry_s=args.lease_expiry,
+            max_tasks=args.max_tasks,
+            worker_id=args.worker_id,
+        )
+    except QueueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("worker interrupted; claimed cells will be reclaimed after "
+              "the lease expiry", file=sys.stderr)
+        return 130
+    print(
+        "worker done: %(claimed)d claimed (%(executed)d executed, "
+        "%(cached)d cache-served, %(failed)d failed), %(reclaimed)d stale "
+        "lease(s) reclaimed" % stats
+    )
+    return 1 if stats["failed"] else 0
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    from repro.experiments.cachetool import (
+        cache_info,
+        cache_prune,
+        cache_verify,
+        format_info,
+    )
+
+    try:
+        if args.cache_command == "info":
+            data = cache_info(args.dir)
+        elif args.cache_command == "verify":
+            data = cache_verify(args.dir)
+        else:
+            data = cache_prune(args.dir, tmp_age_s=args.tmp_age)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    elif args.cache_command == "info":
+        print(format_info(data))
+    elif args.cache_command == "verify":
+        print("verified %d entr(ies): %d ok, %d quarantined, %d stale "
+              "version, %d key mismatch, %d orphan tmp"
+              % (data["checked"], data["ok"], len(data["quarantined"]),
+                 len(data["stale_version"]), len(data["key_mismatch"]),
+                 data["orphan_tmp"]))
+        for name in data["quarantined"]:
+            print("  quarantined %s -> %s.bad" % (name, name))
+    else:
+        print("pruned %d file(s), freed %.1f KiB (%d valid entries kept)"
+              % (len(data["removed"]), data["freed_bytes"] / 1024.0,
+                 data["kept_entries"]))
+        for name in data["removed"]:
+            print("  removed %s" % name)
+    if args.cache_command == "verify":
+        problems = (len(data["quarantined"]) + len(data["stale_version"])
+                    + len(data["key_mismatch"]))
+        return 1 if problems else 0
+    return 0
+
+
 def cmd_telemetry(args) -> int:
     from repro.obs import summarize_series
 
@@ -754,6 +932,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sweep(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "worker":
+        return cmd_worker(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "trace":

@@ -1,0 +1,175 @@
+"""Maintenance for the content-addressed result cache (``.sim-cache``).
+
+The cache is append-mostly and multi-writer (pool workers, queue workers
+on other machines, concurrent campaigns), so entries can be left behind
+in three degraded forms: orphaned ``*.json.tmp.<pid>`` files from killed
+writers, ``*.json.bad`` quarantine files (corrupt entries renamed aside
+by the loader, see ``executor._cache_load``), and entries from an older
+``CACHE_VERSION``.  ``repro cache info|verify|prune`` reports and sweeps
+them; none of these operations can lose a valid current-version result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+
+from repro.experiments.executor import CACHE_VERSION
+
+#: a cache entry is ``<16-hex-digit scenario key>.json``
+_ENTRY_RE = re.compile(r"^[0-9a-f]{16}\.json$")
+_TMP_RE = re.compile(r"^[0-9a-f]{16}\.json\.tmp\.\d+$")
+_BAD_RE = re.compile(r"^[0-9a-f]{16}\.json\.bad$")
+
+#: orphan temp files younger than this are presumed to have a live writer
+DEFAULT_TMP_AGE_S = 3600.0
+
+
+def _scan(cache_dir: str) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {"entries": [], "tmp": [], "bad": [], "other": []}
+    try:
+        names = sorted(os.listdir(cache_dir))
+    except OSError:
+        raise ValueError("cache directory not found: %s" % cache_dir) from None
+    for name in names:
+        if os.path.isdir(os.path.join(cache_dir, name)):
+            continue
+        if _ENTRY_RE.match(name):
+            out["entries"].append(name)
+        elif _TMP_RE.match(name):
+            out["tmp"].append(name)
+        elif _BAD_RE.match(name):
+            out["bad"].append(name)
+        else:
+            out["other"].append(name)
+    return out
+
+
+def _size(path: str) -> int:
+    try:
+        return os.stat(path).st_size
+    except OSError:
+        return 0
+
+
+def cache_info(cache_dir: str) -> dict:
+    """Entry counts, byte totals, and a cache-version histogram."""
+    scan = _scan(cache_dir)
+    versions: dict[str, int] = {}
+    entry_bytes = 0
+    for name in scan["entries"]:
+        path = os.path.join(cache_dir, name)
+        entry_bytes += _size(path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            version = str(payload.get("version")) if isinstance(payload, dict) else "corrupt"
+        except (OSError, ValueError):
+            version = "corrupt"
+        versions[version] = versions.get(version, 0) + 1
+    return {
+        "cache_dir": cache_dir,
+        "cache_version": CACHE_VERSION,
+        "entries": len(scan["entries"]),
+        "entry_bytes": entry_bytes,
+        "versions": versions,
+        "orphan_tmp": len(scan["tmp"]),
+        "quarantined": len(scan["bad"]),
+    }
+
+
+def cache_verify(cache_dir: str) -> dict:
+    """Sweep every entry: parse it, check its version, and check that its
+    payload key matches its filename.  Corrupt entries are quarantined to
+    ``*.bad`` (exactly what the loader would do on first touch); stale
+    versions and key mismatches are reported for ``prune`` to clear."""
+    scan = _scan(cache_dir)
+    ok: list[str] = []
+    quarantined: list[str] = []
+    stale_version: list[str] = []
+    key_mismatch: list[str] = []
+    for name in scan["entries"]:
+        path = os.path.join(cache_dir, name)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except OSError:
+            continue
+        except ValueError:
+            try:
+                os.replace(path, path + ".bad")
+            except OSError:
+                continue
+            quarantined.append(name)
+            continue
+        if payload.get("version") != CACHE_VERSION:
+            stale_version.append(name)
+        elif payload.get("key") != name[: -len(".json")]:
+            key_mismatch.append(name)
+        else:
+            ok.append(name)
+    return {
+        "cache_dir": cache_dir,
+        "checked": len(scan["entries"]),
+        "ok": len(ok),
+        "quarantined": quarantined,
+        "stale_version": stale_version,
+        "key_mismatch": key_mismatch,
+        "orphan_tmp": len(scan["tmp"]),
+        "previously_quarantined": len(scan["bad"]),
+    }
+
+
+def cache_prune(cache_dir: str, tmp_age_s: float = DEFAULT_TMP_AGE_S) -> dict:
+    """Remove what can never be served: quarantined ``*.bad`` files,
+    stale-version and key-mismatched entries, and orphan ``*.tmp.*`` files
+    older than ``tmp_age_s`` (younger ones may have a live writer)."""
+    verdict = cache_verify(cache_dir)
+    removed: list[str] = []
+    freed = 0
+    doomed = list(verdict["stale_version"]) + list(verdict["key_mismatch"])
+    doomed += [name + ".bad" for name in verdict["quarantined"]]
+    scan = _scan(cache_dir)
+    doomed += scan["bad"]
+    now = time.time()
+    for name in scan["tmp"]:
+        path = os.path.join(cache_dir, name)
+        try:
+            age = now - os.stat(path).st_mtime
+        except OSError:
+            continue
+        if age >= tmp_age_s:
+            doomed.append(name)
+    for name in sorted(set(doomed)):
+        path = os.path.join(cache_dir, name)
+        size = _size(path)
+        try:
+            os.remove(path)
+        except OSError:
+            continue
+        removed.append(name)
+        freed += size
+    return {
+        "cache_dir": cache_dir,
+        "removed": removed,
+        "freed_bytes": freed,
+        "kept_entries": verdict["ok"],
+    }
+
+
+def format_info(info: dict) -> str:
+    lines = [
+        "cache %s" % info["cache_dir"],
+        "  entries:     %d (%.1f KiB)" % (info["entries"], info["entry_bytes"] / 1024.0),
+        "  versions:    %s"
+        % (", ".join(
+            "v%s x%d" % (v, n) for v, n in sorted(info["versions"].items())
+        ) or "none"),
+        "  orphan tmp:  %d" % info["orphan_tmp"],
+        "  quarantined: %d" % info["quarantined"],
+    ]
+    return "\n".join(lines)

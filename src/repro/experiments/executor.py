@@ -81,18 +81,7 @@ def simulate_scenario(spec_dict: dict, telemetry: dict | None = None) -> dict:
     """
     scenario = Scenario.from_dict(spec_dict)
     key = scenario.key()
-    tel_cfg = None
-    if telemetry is not None:
-        from repro.obs import TelemetryConfig
-
-        tel_cfg = TelemetryConfig(
-            out=os.path.join(telemetry["out_dir"], "%s.jsonl" % key),
-            sample_every=int(telemetry.get("sample_every", 5000)),
-            stats_patterns=tuple(telemetry.get("stats_patterns", ())),
-            heartbeat=False,
-            run_id=key,
-            label=scenario.name,
-        )
+    tel_cfg = cell_telemetry_config(telemetry, key, scenario.name)
     t0 = time.perf_counter()
     result = run_workload(scenario.build_config(), scenario.build_workload(), telemetry=tel_cfg)
     t1 = time.perf_counter()
@@ -105,6 +94,26 @@ def simulate_scenario(spec_dict: dict, telemetry: dict | None = None) -> dict:
         "t_end": t1,
         "pid": os.getpid(),
     }
+
+
+def cell_telemetry_config(telemetry: dict | None, key: str, name: str):
+    """Build the per-cell :class:`repro.obs.TelemetryConfig` from the plain
+    batch-telemetry dict (``out_dir`` + optional ``sample_every`` /
+    ``stats_patterns``), or ``None`` when telemetry is off.  Shared by every
+    worker entry point (pool, planner, queue) so per-cell series are keyed
+    and shaped identically no matter which lane simulated the cell."""
+    if telemetry is None:
+        return None
+    from repro.obs import TelemetryConfig
+
+    return TelemetryConfig(
+        out=os.path.join(telemetry["out_dir"], "%s.jsonl" % key),
+        sample_every=int(telemetry.get("sample_every", 5000)),
+        stats_patterns=tuple(telemetry.get("stats_patterns", ())),
+        heartbeat=False,
+        run_id=key,
+        label=name,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -122,11 +131,27 @@ def _cache_load(cache_dir: str | None, key: str) -> dict | None:
     try:
         with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
-    except (OSError, ValueError):
+    except OSError:
+        return None
+    except ValueError:
+        # Corrupt/truncated entry (killed writer, disk full): quarantine it
+        # so the miss is visible (`repro cache verify` reports *.bad files)
+        # instead of silently re-simulating against it forever.
+        _quarantine(path)
+        return None
+    if not isinstance(payload, dict):
+        _quarantine(path)
         return None
     if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
         return None
     return payload
+
+
+def _quarantine(path: str) -> None:
+    try:
+        os.replace(path, path + ".bad")
+    except OSError:  # pragma: no cover - lost race with another process
+        pass
 
 
 def _cache_store(cache_dir: str | None, key: str, payload: dict) -> None:
@@ -181,9 +206,10 @@ def execute(
     cached: dict[str, bool] = {}
     cell_name: dict[str, str] = {}
     todo: list[tuple[str, Scenario]] = []
+    pending: set[str] = set()
     for scenario, key in zip(scenarios, keys):
         cell_name.setdefault(key, scenario.name)
-        if key in payloads or any(k == key for k, _ in todo):
+        if key in payloads or key in pending:
             continue
         hit = _cache_load(cache_dir, key)
         if hit is not None:
@@ -191,6 +217,7 @@ def execute(
             cached[key] = True
         else:
             todo.append((key, scenario))
+            pending.add(key)
 
     total = len(payloads) + len(todo)
     done = 0

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.sim.config import SystemConfig
-from repro.workloads import make_workload, workload_fingerprint
+from repro.workloads import make_workload, workload_factory, workload_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system import SimResult
@@ -80,7 +80,12 @@ class Scenario:
 
         Workloads backed by external files (trace replays) contribute a
         content fingerprint, so re-recording a trace at the same path
-        invalidates cached results.  A ``hierarchy`` override is folded in
+        invalidates cached results.  Such workloads may also expose a
+        ``cache_key_inputs`` hook on their factory to *canonicalize* their
+        kwargs for hashing -- trace replays drop the file path entirely, so
+        a replay of the same trace bytes hits the same cache entry from any
+        machine or store location (the content hash, not the mount point,
+        is the identity).  A ``hierarchy`` override is folded in
         through its canonical form
         (:meth:`repro.mem.hierarchy.HierarchySpec.canonical_dict`), so two
         different shapes never share a cache entry while equivalent
@@ -93,9 +98,13 @@ class Scenario:
 
             config = dict(config)
             config["hierarchy"] = HierarchySpec.canonical_dict(config["hierarchy"])
+        args = self.workload_args
+        canon = getattr(workload_factory(self.workload), "cache_key_inputs", None)
+        if canon is not None:
+            args = canon(**args)
         inputs = {
             "workload": self.workload,
-            "workload_args": self.workload_args,
+            "workload_args": args,
             "config": config,
         }
         fingerprint = workload_fingerprint(self.workload, self.workload_args)

@@ -41,11 +41,15 @@ from repro.trace.replay import TraceReplayer, replay_trace
 from repro.trace.workload import TraceReplayWorkload
 
 
-def record_workload(config, workload, name=None, workload_args=None):
+def record_workload(config, workload, name=None, workload_args=None, telemetry=None):
     """Run ``workload`` execution-driven while recording its trace.
 
     Returns ``(SimResult, Trace)``; the result is the ordinary
-    execution-driven outcome, the trace replays it.
+    execution-driven outcome, the trace replays it.  ``telemetry`` is an
+    optional :class:`repro.obs.TelemetryConfig`, attached around the run
+    exactly like :func:`repro.system.run_workload` does -- recording and
+    telemetry both ride the observer lane, so the result stays
+    byte-identical to a plain execution.
     """
     from repro.system import System
 
@@ -57,7 +61,20 @@ def record_workload(config, workload, name=None, workload_args=None):
         workload_name=name or getattr(workload, "name", "unknown"),
         workload_args=workload_args,
     )
-    result = system.run(workload)
+    if telemetry is None:
+        result = system.run(workload)
+    else:
+        from repro.obs import TelemetrySession
+
+        if telemetry.label is None:
+            telemetry.label = getattr(workload, "name", None)
+        session = TelemetrySession(telemetry, system)
+        session.start()
+        result = None
+        try:
+            result = system.run(workload)
+        finally:
+            session.finalize(result)
     return result, recorder.finish(result)
 
 

@@ -80,6 +80,14 @@ class TraceReplayWorkload(Workload):
         """Content identity of the simulation inputs behind this workload."""
         return cached_fingerprint(path)
 
+    @staticmethod
+    def cache_key_inputs(path: str, overrides: dict | None = None) -> dict:
+        """Cache-key view of the kwargs (see :meth:`Scenario.key`): the
+        trace is identified by its content fingerprint, never by its path,
+        so replays of the same bytes share one cache entry across queue
+        workers, machines, and trace-store locations."""
+        return {"overrides": dict(overrides)} if overrides else {}
+
     def accept_config_overrides(self, overrides: dict) -> None:
         """Scenario hook: the spec's ``config`` block arrives here so it can
         be applied over the *trace's* configuration (see module docstring)."""

@@ -1,0 +1,151 @@
+"""Tests for `repro cache info|verify|prune` (experiments/cachetool.py)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import cli
+from repro.experiments.cachetool import (
+    cache_info,
+    cache_prune,
+    cache_verify,
+    format_info,
+)
+from repro.experiments.executor import CACHE_VERSION
+
+
+def entry_name(n: int) -> str:
+    return "%016x.json" % n
+
+
+def write_entry(cache, name, payload):
+    with open(os.path.join(cache, name), "w", encoding="utf-8") as fh:
+        if isinstance(payload, str):
+            fh.write(payload)
+        else:
+            json.dump(payload, fh)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A cache with two valid entries, one stale-version entry, one
+    key-mismatched entry, one corrupt entry, one quarantined file, and
+    one ancient orphan tmp file."""
+    cache = str(tmp_path / "cache")
+    os.makedirs(cache)
+    for n in (1, 2):
+        write_entry(cache, entry_name(n),
+                    {"version": CACHE_VERSION, "key": "%016x" % n, "ok": True})
+    write_entry(cache, entry_name(3),
+                {"version": CACHE_VERSION - 1, "key": "%016x" % 3})
+    write_entry(cache, entry_name(4),
+                {"version": CACHE_VERSION, "key": "%016x" % 99})
+    write_entry(cache, entry_name(5), "{not json")
+    write_entry(cache, entry_name(6) + ".bad", "{older casualty")
+    tmp = os.path.join(cache, entry_name(7) + ".tmp.1234")
+    write_entry(cache, os.path.basename(tmp), "{half-written")
+    old = time.time() - 7200
+    os.utime(tmp, (old, old))
+    return cache
+
+
+class TestInfo:
+    def test_counts_and_versions(self, cache):
+        info = cache_info(cache)
+        assert info["entries"] == 5
+        assert info["orphan_tmp"] == 1
+        assert info["quarantined"] == 1
+        assert info["versions"][str(CACHE_VERSION)] == 3  # incl. key mismatch
+        assert info["versions"][str(CACHE_VERSION - 1)] == 1
+        assert info["versions"]["corrupt"] == 1
+        assert info["entry_bytes"] > 0
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            cache_info(str(tmp_path / "nope"))
+
+    def test_format_info_mentions_the_lot(self, cache):
+        text = format_info(cache_info(cache))
+        assert "entries:     5" in text
+        assert "orphan tmp:  1" in text
+        assert "quarantined: 1" in text
+
+
+class TestVerify:
+    def test_classifies_and_quarantines(self, cache):
+        verdict = cache_verify(cache)
+        assert verdict["checked"] == 5
+        assert verdict["ok"] == 2
+        assert verdict["quarantined"] == [entry_name(5)]
+        assert verdict["stale_version"] == [entry_name(3)]
+        assert verdict["key_mismatch"] == [entry_name(4)]
+        # the corrupt entry was moved aside exactly as the loader would
+        assert os.path.exists(os.path.join(cache, entry_name(5) + ".bad"))
+        assert not os.path.exists(os.path.join(cache, entry_name(5)))
+
+    def test_verify_is_idempotent(self, cache):
+        cache_verify(cache)
+        verdict = cache_verify(cache)
+        assert verdict["quarantined"] == []
+        assert verdict["ok"] == 2
+        assert verdict["previously_quarantined"] == 2
+
+
+class TestPrune:
+    def test_removes_only_unservable_files(self, cache):
+        report = cache_prune(cache, tmp_age_s=3600.0)
+        assert report["kept_entries"] == 2
+        removed = set(report["removed"])
+        assert removed == {
+            entry_name(3),                 # stale version
+            entry_name(4),                 # key mismatch
+            entry_name(5) + ".bad",        # quarantined by the verify pass
+            entry_name(6) + ".bad",        # previously quarantined
+            entry_name(7) + ".tmp.1234",   # ancient orphan tmp
+        }
+        assert report["freed_bytes"] > 0
+        survivors = sorted(os.listdir(cache))
+        assert survivors == [entry_name(1), entry_name(2)]
+
+    def test_young_tmp_files_survive(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        os.makedirs(cache)
+        write_entry(cache, entry_name(7) + ".tmp.1234", "{half-written")
+        report = cache_prune(cache, tmp_age_s=3600.0)
+        assert report["removed"] == []
+        assert os.path.exists(os.path.join(cache, entry_name(7) + ".tmp.1234"))
+
+
+class TestCli:
+    def test_info(self, cache, capsys):
+        assert cli.main(["cache", "info", cache]) == 0
+        assert "entries:     5" in capsys.readouterr().out
+
+    def test_info_json(self, cache, capsys):
+        assert cli.main(["cache", "info", cache, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["entries"] == 5
+
+    def test_verify_exit_code_flags_problems(self, cache, capsys):
+        assert cli.main(["cache", "verify", cache]) == 1
+        out = capsys.readouterr().out
+        assert "2 ok" in out
+        assert "quarantined %s" % entry_name(5) in out
+
+    def test_verify_clean_cache_exits_zero(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        os.makedirs(cache)
+        write_entry(cache, entry_name(1),
+                    {"version": CACHE_VERSION, "key": "%016x" % 1})
+        assert cli.main(["cache", "verify", cache]) == 0
+
+    def test_prune(self, cache, capsys):
+        assert cli.main(["cache", "prune", cache]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 5 file(s)" in out
+
+    def test_missing_dir_exits_two(self, tmp_path, capsys):
+        assert cli.main(["cache", "info", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -17,7 +17,7 @@ perf_gate = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(perf_gate)
 
 
-def artifact(path, rows):
+def artifact(path, rows, campaign_cpm=None):
     payload = {
         "unit": "simulated GPU cycles per host second",
         "scenarios": [
@@ -26,6 +26,15 @@ def artifact(path, rows):
             for name, key, cps in rows
         ],
     }
+    if campaign_cpm is not None:
+        payload["campaign_cells"] = {
+            "campaign": "fleet", "cells": 20,
+            "planned": {"cells_per_min": campaign_cpm, "wall_clock_s": 1.0,
+                        "executed": 8, "replayed": 12, "cached": 0},
+            "serial": {"cells_per_min": campaign_cpm / 1.2, "wall_clock_s": 1.2,
+                       "executed": 20, "replayed": 0, "cached": 0},
+            "speedup": 1.2,
+        }
     path.write_text(json.dumps(payload))
     return str(path)
 
@@ -87,6 +96,43 @@ class TestGate:
         fresh = artifact(tmp_path / "f.json", [("s1", "k1", 1.0)])
         with pytest.raises(SystemExit):
             perf_gate.main(["--fresh", fresh, "--tolerance", "1.5"])
+
+
+class TestCampaignSection:
+    def run(self, tmp_path, fresh_cpm, committed_cpm,
+            fresh_rows=(("s1", "k1", 100.0),),
+            committed_rows=(("s1", "k1", 100.0),)):
+        fresh = artifact(tmp_path / "fresh.json", list(fresh_rows),
+                         campaign_cpm=fresh_cpm)
+        committed = artifact(tmp_path / "committed.json", list(committed_rows),
+                             campaign_cpm=committed_cpm)
+        return perf_gate.main(["--fresh", fresh, "--committed", committed])
+
+    def test_campaign_within_tolerance_ok(self, tmp_path, capsys):
+        rc = self.run(tmp_path, fresh_cpm=900.0, committed_cpm=1000.0)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign:fleet" in out
+        assert "8 executed + 12 replayed" in out
+
+    def test_campaign_collapse_fails(self, tmp_path, capsys):
+        rc = self.run(tmp_path, fresh_cpm=100.0, committed_cpm=1000.0)
+        assert rc == 1
+        assert "cells/min" in capsys.readouterr().err
+
+    def test_missing_section_skips_cleanly(self, tmp_path, capsys):
+        rc = self.run(tmp_path, fresh_cpm=None, committed_cpm=1000.0)
+        assert rc == 0
+        assert "campaign_cells: absent on one side" in capsys.readouterr().out
+        rc = self.run(tmp_path, fresh_cpm=900.0, committed_cpm=None)
+        assert rc == 0
+
+    def test_campaign_alone_satisfies_overlap(self, tmp_path, capsys):
+        """A bench session that only ran the campaign benchmark still
+        gates something instead of dying on the no-overlap check."""
+        rc = self.run(tmp_path, fresh_cpm=900.0, committed_cpm=1000.0,
+                      fresh_rows=(("s9", "k9", 100.0),))
+        assert rc == 0
 
 
 class TestAgainstCommittedArtifact:

@@ -172,6 +172,11 @@ class TestExecutor:
         [again] = execute([tiny()], cache_dir=str(cache))
         assert not again.cached
         assert again.result.to_dict() == record.result.to_dict()
+        # the corrupt entry was quarantined aside, not silently overwritten:
+        # another writer may be mid-rewrite and forensics need the bytes
+        assert list(cache.glob("*.json.bad")) == [
+            cache / (path.name + ".bad")
+        ]
 
     def test_duplicate_scenarios_simulated_once(self):
         calls = []
@@ -189,6 +194,28 @@ class TestExecutor:
         assert len(calls) == 1
         assert [r.scenario.name for r in records] == ["a", "b"]
         assert records[0].result.to_dict() == records[1].result.to_dict()
+
+    def test_many_duplicates_deduplicate_in_linear_time(self):
+        """500 same-key scenarios: one simulation, and the duplicate scan
+        must not be quadratic in the sweep size (it once was)."""
+        calls = []
+        original = executor.simulate_scenario
+
+        def counting(spec_dict):
+            calls.append(spec_dict["name"])
+            return original(spec_dict)
+
+        scenarios = [tiny("cell-%03d" % i) for i in range(500)]
+        try:
+            executor.simulate_scenario = counting
+            records = execute(scenarios)
+        finally:
+            executor.simulate_scenario = original
+        assert len(calls) == 1
+        assert len(records) == 500
+        baseline = records[0].result.to_dict()
+        assert all(r.result.to_dict() == baseline for r in records)
+        assert all(not r.cached for r in records)
 
     def test_results_by_name_ordering(self):
         records = execute([tiny("z"), tiny("a")])
