@@ -26,6 +26,7 @@ import pytest
 
 from repro import fastcore
 from repro.experiments import executor
+from repro.results import bench_io
 
 # Benchmark problem sizes live in the bench catalog (repro.experiments
 # .bench) so `repro bench` and this suite measure identical scenarios;
@@ -151,55 +152,22 @@ def scenario_timing_artifact():
                 ),
             },
         )
-    bench_path = _bench_engine_path()
-    # Rows measured under the fast core land in their own section
-    # ("scenarios_fast"): the identical simulation runs at a different
-    # speed per core, and the perf gate must never compare a fast-core
-    # measurement against the python-core trajectory (or vice versa).
-    section = (
-        "scenarios_fast" if fastcore.DEFAULT_CORE == "fast" else "scenarios"
+    # The merge itself (pair rows by key, evict stale rows sharing a
+    # display identity with a re-measured one, carry untouched sections
+    # verbatim, overwrite extra named sections) is the shared
+    # bench_io.merge_rows contract -- the same one `repro bench --update`
+    # uses, so a partial session (CI's bench-smoke runs only the fig6.3
+    # grid; developers run single files) refreshes the rows it
+    # re-measured and never silently loses the rest.  Rows measured under
+    # the fast core land in their own section ("scenarios_fast"): the
+    # identical simulation runs at a different speed per core, and the
+    # perf gate must never compare across cores.
+    bench_io.merge_rows(
+        _bench_engine_path(),
+        bench_io.section_for_core(fastcore.DEFAULT_CORE),
+        list(deduped.values()),
+        extra_sections=_EXTRA_SECTIONS,
     )
-    # Merge into the existing artifact rather than overwriting: a partial
-    # session (CI's bench-smoke runs only the fig6.3 grid; developers run
-    # single files) refreshes the rows it re-measured and keeps the rest,
-    # so the tracked perf trajectory never silently loses scenarios.
-    merged: dict[str, dict] = {}
-    existing: dict = {}
-    try:
-        with open(bench_path, encoding="utf-8") as fh:
-            existing = json.load(fh)
-        for entry in existing.get(section, []):
-            merged[entry.get("key", entry.get("scenario"))] = entry
-    except (OSError, ValueError):
-        existing = {}
-    # A config change rehashes Scenario.key(): the re-measured scenario
-    # would land under a new key while its dead old-key row survived the
-    # merge.  Evict any stale row that shares a display identity
-    # (workload, scenario name) with a row measured this session.
-    fresh_names = {(t["workload"], t["scenario"]) for t in deduped.values()}
-    merged = {
-        k: e
-        for k, e in merged.items()
-        if (e.get("workload"), e.get("scenario")) not in fresh_names
-    }
-    merged.update(deduped)
-    bench = {"unit": "simulated GPU cycles per host second"}
-    if merged:
-        bench[section] = sorted(
-            merged.values(),
-            key=lambda e: (e.get("workload") or "", e.get("scenario") or ""),
-        )
-    # Carry every section this session did not touch through verbatim
-    # (the other core's scenario rows, campaign_cells from a previous
-    # full session, future sections this conftest knows nothing about).
-    for name, value in existing.items():
-        bench.setdefault(name, value)
-    bench.update(_EXTRA_SECTIONS)
-    parent = os.path.dirname(bench_path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(bench_path, "w", encoding="utf-8") as fh:
-        json.dump(bench, fh, indent=2, sort_keys=True)
 
 
 @pytest.fixture(autouse=True)

@@ -23,8 +23,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
+
+# The gate runs as `python benchmarks/perf_gate.py` in CI, without
+# PYTHONPATH=src -- bootstrap the package root so the shared artifact
+# loader (repro.results.bench_io) imports either way.
+try:
+    from repro.results import bench_io
+except ImportError:  # pragma: no cover - exercised by the CI invocation
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+    from repro.results import bench_io
 
 
 def load_rows(path: str, section: str = "scenarios") -> dict:
@@ -33,37 +44,32 @@ def load_rows(path: str, section: str = "scenarios") -> dict:
     ``section`` is ``"scenarios"`` (python-core trajectory) or
     ``"scenarios_fast"`` (fast-core trajectory): the two cores simulate
     byte-identically but run at different speeds, so their rows are
-    tracked -- and gated -- separately.
+    tracked -- and gated -- separately.  Delegates to the shared loader
+    with ``missing_ok=False``: a gate must fail loudly on a missing or
+    unparsable artifact, never compare against nothing.
     """
-    with open(path, encoding="utf-8") as fh:
-        payload = json.load(fh)
-    out = {}
-    for entry in payload.get(section, []):
-        key = entry.get("key") or entry.get("scenario")
-        if key and entry.get("cycles_per_sec"):
-            out[key] = entry
-    return out
+    return bench_io.rows_by_key(path, section, missing_ok=False)
 
 
 def load_campaign_cells(path: str) -> dict | None:
     """The ``campaign_cells`` section (replay-first campaign throughput),
     or None when the artifact predates it or the session didn't run the
     campaign benchmark."""
-    with open(path, encoding="utf-8") as fh:
-        payload = json.load(fh)
-    section = payload.get("campaign_cells")
-    if not isinstance(section, dict):
-        return None
-    if not (section.get("planned") or {}).get("cells_per_min"):
-        return None
-    return section
+    return bench_io.load_campaign_cells(path, missing_ok=False)
 
 
 def compare_campaign(fresh: dict | None, committed: dict | None, tolerance: float) -> tuple:
     """Gate campaign cells/min like a scenario row; skip cleanly when the
-    section is missing on either side."""
+    section is missing on either side, naming which side lacks it."""
     if fresh is None or committed is None:
-        return ["  campaign_cells: absent on one side; skipped"], [], False
+        missing = [
+            side for side, payload in
+            (("fresh", fresh), ("committed", committed)) if payload is None
+        ]
+        return [
+            "  campaign_cells: section missing from %s artifact(s); skipped"
+            % " and ".join(missing)
+        ], [], False
     got = fresh["planned"]["cells_per_min"]
     want = committed["planned"]["cells_per_min"]
     ratio = got / want if want else float("inf")

@@ -26,6 +26,11 @@ Examples::
     python -m repro cache verify .sim-cache
     python -m repro cache prune .sim-cache
     python -m repro telemetry summarize run.jsonl
+    python -m repro sweep my_sweep.json --db results.db
+    python -m repro report build --out report/ --db results.db
+    python -m repro report query "SELECT experiment, name, cycles FROM runs"
+    python -m repro report diff docs/report report/
+    python -m repro report manifest docs/report --check
     python -m repro list
     python -m repro table51
 
@@ -46,6 +51,15 @@ replays -- and with ``--workers N`` / ``--queue DIR`` it shards the
 campaign over a filesystem-backed work queue that any number of ``repro
 worker`` processes (local or on other machines) can drain; see the
 README's "Distributed campaigns" section.
+
+``report`` is the one-command results database + programmatic report:
+``repro report build`` regenerates the scenario-backed experiments,
+ingests every number into a SQLite database (``--db``), and renders the
+versioned Markdown/LaTeX/JSON report with a SHA-256 manifest;
+``query``/``diff``/``manifest`` inspect the database and byte-compare
+report directories.  ``sweep``/``campaign --db FILE`` ingest their
+results on completion.  See the README's "Results database" section and
+``docs/ARTIFACTS.md``.
 
 ``--telemetry`` / ``--timeline`` attach the in-flight telemetry subsystem
 (:mod:`repro.obs`): a sampled stat time-series (JSONL + CSV) and a Chrome
@@ -214,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the report to FILE")
     sweep.add_argument("--cache", metavar="DIR", default=None,
                        help="on-disk scenario result cache")
+    sweep.add_argument("--db", metavar="FILE", default=None,
+                       help="also ingest the results into this SQLite "
+                            "results database (see 'repro report')")
     _add_batch_telemetry_options(sweep)
 
     campaign = sub.add_parser(
@@ -268,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="reclaim a worker's claimed cell after its "
                                "lease heartbeat goes stale this long "
                                "(default: 300)")
+    campaign.add_argument("--db", metavar="FILE", default=None,
+                          help="also ingest the campaign matrix and cell "
+                               "results into this SQLite results database "
+                               "(see 'repro report')")
     _add_batch_telemetry_options(campaign)
 
     worker = sub.add_parser(
@@ -411,6 +432,65 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--columns", action="append", default=[],
                            metavar="PAT",
                            help="fnmatch filter over column names (repeatable)")
+
+    report = sub.add_parser(
+        "report",
+        help="results database + one-command versioned report "
+             "(see docs/ARTIFACTS.md)",
+    )
+    rsub = report.add_subparsers(dest="report_command", required=True)
+
+    rbuild = rsub.add_parser(
+        "build",
+        help="regenerate the experiments, ingest every number into the "
+             "results database, render the md/tex/json report + manifest",
+    )
+    rbuild.add_argument("--out", metavar="DIR", default="report",
+                        help="report output directory (default: report/; "
+                             "the committed golden lives in docs/report/)")
+    rbuild.add_argument("--db", metavar="FILE", default="results.db",
+                        help="SQLite results database to ingest into "
+                             "(default: results.db)")
+    rbuild.add_argument("--full", action="store_true",
+                        help="full paper sizes (default: --fast sizes, the "
+                             "configuration the committed report is built at)")
+    rbuild.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the scenario executor")
+    rbuild.add_argument("--cache", metavar="DIR", default=None,
+                        help="on-disk scenario result cache (a rebuild is "
+                             "served from it)")
+    rbuild.add_argument("--experiments", nargs="+", default=None,
+                        metavar="NAME",
+                        help="restrict to these experiments (default: the "
+                             "full report set)")
+
+    rquery = rsub.add_parser(
+        "query", help="run one read-only SQL query against a results database"
+    )
+    rquery.add_argument("sql", nargs="?", default=None,
+                        help="SQL to run (tables: runs, breakdown, stats, "
+                             "claims, campaign_cells, bench_rows, "
+                             "telemetry_series, artifacts, ingests, ...)")
+    rquery.add_argument("--db", metavar="FILE", default="results.db")
+    rquery.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    rquery.add_argument("--tables", action="store_true",
+                        help="print per-table row counts and exit")
+
+    rdiff = rsub.add_parser(
+        "diff", help="byte-compare two report directories by content hash"
+    )
+    rdiff.add_argument("dir_a", help="report directory (e.g. docs/report)")
+    rdiff.add_argument("dir_b", help="report directory to compare against")
+
+    rmanifest = rsub.add_parser(
+        "manifest",
+        help="print (or --check) a report directory's SHA-256 manifest",
+    )
+    rmanifest.add_argument("dir", help="report directory")
+    rmanifest.add_argument("--check", action="store_true",
+                           help="verify the directory against its committed "
+                                "MANIFEST.sha256; exit 1 on any mismatch")
     return parser
 
 
@@ -500,7 +580,11 @@ def cmd_sweep(args) -> int:
         return 2
     progress, telemetry = _batch_telemetry(args)
     records = execute(scenarios, jobs=args.jobs, cache_dir=args.cache,
-                      progress=progress, telemetry=telemetry)
+                      progress=progress, telemetry=telemetry,
+                      results_db=args.db)
+    if args.db:
+        print("ingested %d record(s) into %s" % (len(records), args.db),
+              file=sys.stderr)
     if args.timeline:
         _write_cells_timeline(args.timeline, records)
     breakdowns = {r.scenario.name: r.result.breakdown for r in records}
@@ -626,13 +710,22 @@ def cmd_campaign(args) -> int:
                 progress=progress, telemetry=telemetry,
                 lease_expiry_s=args.lease_expiry,
             )
+            if args.db:
+                from repro.results.db import ResultsDB
+
+                with ResultsDB(args.db) as db:
+                    db.ingest_campaign(result)
         else:
             result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache,
                                   progress=progress, telemetry=telemetry,
-                                  plan=plan, trace_dir=args.trace_dir)
+                                  plan=plan, trace_dir=args.trace_dir,
+                                  results_db=args.db)
     except (OSError, ValueError, RuntimeError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    if args.db:
+        print("ingested campaign %s into %s" % (result.spec.name, args.db),
+              file=sys.stderr)
     if args.timeline:
         _write_cells_timeline(args.timeline, result.records)
     if args.fmt == "json":
@@ -905,6 +998,97 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """The results-database surface: build/query/diff/manifest (see the
+    README's "Results database" section and docs/ARTIFACTS.md)."""
+    import json
+    import os
+    import sqlite3
+
+    from repro.results import report_gen
+    from repro.results.db import ResultsDB
+
+    if args.report_command == "build":
+        if args.jobs < 1:
+            print("error: --jobs must be >= 1", file=sys.stderr)
+            return 2
+        try:
+            with ResultsDB(args.db) as db:
+                out = report_gen.build(
+                    args.out, db,
+                    fast=not args.full,
+                    jobs=args.jobs,
+                    cache_dir=args.cache,
+                    experiments=args.experiments,
+                )
+        except (OSError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        for path in out["files"] + [out["manifest"]]:
+            print("wrote %s" % path)
+        print("results database: %s (query with 'repro report query "
+              "--db %s')" % (args.db, args.db), file=sys.stderr)
+        return 0
+
+    if args.report_command == "query":
+        if not os.path.exists(args.db):
+            print("error: no results database at %s (build one with "
+                  "'repro report build' or sweep/campaign --db)" % args.db,
+                  file=sys.stderr)
+            return 2
+        with ResultsDB(args.db) as db:
+            if args.tables:
+                summary = db.summary()
+                if args.as_json:
+                    print(json.dumps(summary, indent=2, sort_keys=True))
+                else:
+                    for table, count in summary.items():
+                        print("%-20s %d" % (table, count))
+                return 0
+            if not args.sql:
+                print("error: provide a SQL query or --tables",
+                      file=sys.stderr)
+                return 2
+            try:
+                columns, rows = db.query(args.sql)
+            except sqlite3.Error as exc:
+                print("error: %s" % exc, file=sys.stderr)
+                return 2
+        if args.as_json:
+            print(json.dumps([dict(zip(columns, row)) for row in rows],
+                             indent=2, sort_keys=True))
+        else:
+            if columns:
+                print("\t".join(columns))
+            for row in rows:
+                print("\t".join(str(v) for v in row))
+        return 0
+
+    if args.report_command == "diff":
+        problems = report_gen.diff_reports(args.dir_a, args.dir_b)
+        if problems:
+            print("reports differ (%d file(s)):" % len(problems))
+            for line in problems:
+                print("  " + line)
+            return 1
+        print("reports are byte-identical")
+        return 0
+
+    # manifest
+    if args.check:
+        problems = report_gen.check_manifest(args.dir)
+        if problems:
+            print("manifest check FAILED:", file=sys.stderr)
+            for line in problems:
+                print("  " + line, file=sys.stderr)
+            return 1
+        print("manifest OK: %s matches its %s"
+              % (args.dir, report_gen.MANIFEST_NAME))
+        return 0
+    print("\n".join(report_gen.manifest_lines(args.dir)))
+    return 0
+
+
 def cmd_telemetry(args) -> int:
     from repro.obs import summarize_series
 
@@ -942,6 +1126,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_trace(args)
     if args.command == "telemetry":
         return cmd_telemetry(args)
+    if args.command == "report":
+        return cmd_report(args)
     return cmd_run(args)
 
 

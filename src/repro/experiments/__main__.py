@@ -1,4 +1,6 @@
-"""``python -m repro.experiments`` entry point."""
+"""``python -m repro.experiments`` entry point: regenerate the paper's
+tables and figures via :mod:`repro.experiments.runner` (see its module
+docstring for the CLI surface)."""
 
 import sys
 

@@ -18,8 +18,6 @@ are tracked separately and the perf gate (``benchmarks/perf_gate.py
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from typing import Callable
 
@@ -139,43 +137,7 @@ def measure(groups: list[str]) -> list[dict]:
     return list(rows.values())
 
 
-def load_section(path: str, section: str) -> list[dict]:
-    """The rows of one section of a BENCH_engine artifact ([] if absent)."""
-    try:
-        with open(path, encoding="utf-8") as fh:
-            return json.load(fh).get(section, [])
-    except (OSError, ValueError):
-        return []
-
-
-def merge_rows(path: str, section: str, fresh: list[dict]) -> None:
-    """Merge freshly measured rows into one section of the artifact.
-
-    Same semantics as the benchmark conftest: rows match by scenario key,
-    stale rows sharing a display identity (workload, scenario name) with
-    a fresh row are evicted, sections the session did not measure are
-    carried through verbatim.
-    """
-    try:
-        with open(path, encoding="utf-8") as fh:
-            payload = json.load(fh)
-    except (OSError, ValueError):
-        payload = {}
-    merged = {e.get("key", e.get("scenario")): e for e in payload.get(section, [])}
-    fresh_names = {(r["workload"], r["scenario"]) for r in fresh}
-    merged = {
-        k: e
-        for k, e in merged.items()
-        if (e.get("workload"), e.get("scenario")) not in fresh_names
-    }
-    merged.update({r["key"]: r for r in fresh})
-    payload["unit"] = "simulated GPU cycles per host second"
-    payload[section] = sorted(
-        merged.values(),
-        key=lambda e: (e.get("workload") or "", e.get("scenario") or ""),
-    )
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+# The artifact read/merge half of `repro bench` lives in
+# repro.results.bench_io, shared with the CI perf gate and the benchmark
+# conftest; these aliases keep the historical import surface working.
+from repro.results.bench_io import load_section, merge_rows  # noqa: E402,F401

@@ -175,6 +175,7 @@ def execute(
     cache_dir: str | None = None,
     progress: Callable[[str, float, bool, int, int], None] | None = None,
     telemetry: dict | None = None,
+    results_db: str | None = None,
 ) -> list[ScenarioRecord]:
     """Run every scenario; results come back in input order.
 
@@ -188,6 +189,11 @@ def execute(
     order).  ``telemetry`` (see :func:`simulate_scenario`) attaches a
     per-cell telemetry session in each worker and writes an
     ``index.json`` name->key map next to the per-cell series.
+
+    ``results_db`` names a SQLite results database
+    (:class:`repro.results.db.ResultsDB`) to ingest the completed records
+    into -- every run, breakdown row and stat leaf becomes queryable via
+    ``repro report query`` (the ``sweep --db`` path).
     """
     scenarios = list(scenarios)
     seen: set[str] = set()
@@ -265,6 +271,11 @@ def execute(
         if record_hook is not None:
             record_hook(record)
         records.append(record)
+    if results_db is not None:
+        from repro.results.db import ResultsDB
+
+        with ResultsDB(results_db) as db:
+            db.ingest_records(records, source="executor")
     return records
 
 

@@ -42,35 +42,72 @@ def _figure_artifact(name: str, result) -> Artifact:
     return Artifact(name, result.render(), result.to_dict(), result.to_csv())
 
 
-def _run_fig61(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
+def experiment_results(
+    name: str, fast: bool, jobs: int = 1, cache_dir: str | None = None
+):
+    """Run one scenario-backed experiment at the canonical sizes.
+
+    The single owner of the fast/full size policy (node counts, TB
+    counts, MSHR sweep points, campaign fleet), shared by the artifact
+    wrappers below and by the report generator
+    (:mod:`repro.results.report_gen`) -- so "what fig6.3 means at --fast"
+    cannot drift between ``python -m repro.experiments`` and ``repro
+    report build``.  Returns the experiment's natural result object: an
+    :class:`~repro.experiments.figures.ExperimentResult` for the figures,
+    a size-keyed dict of them for ``fig6.4``, a
+    :class:`~repro.experiments.campaign.CampaignResult` for ``campaign``.
+    """
     nodes = 60 if fast else 150
-    result = figures.fig61(total_nodes=nodes, jobs=jobs, cache_dir=cache_dir)
-    return _figure_artifact("fig6.1", result)
+    tbs = 2 if fast else 4
+    if name == "fig6.1":
+        return figures.fig61(total_nodes=nodes, jobs=jobs, cache_dir=cache_dir)
+    if name == "fig6.2":
+        return figures.fig62(
+            total_nodes=nodes,
+            include_uts_reference=not fast,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+    if name == "fig6.3":
+        return figures.fig63(num_tbs=tbs, jobs=jobs, cache_dir=cache_dir)
+    if name == "fig6.4":
+        sizes = (32, 256) if fast else (32, 64, 128, 256)
+        return figures.fig64(
+            mshr_sizes=sizes, num_tbs=tbs, jobs=jobs, cache_dir=cache_dir
+        )
+    if name == "hierarchy":
+        return figures.fig_hierarchy(
+            total_nodes=nodes, jobs=jobs, cache_dir=cache_dir
+        )
+    if name == "campaign":
+        from repro.experiments import campaign
+
+        spec = campaign.default_campaign(fast)
+        return campaign.run_campaign(spec, jobs=jobs, cache_dir=cache_dir)
+    raise ValueError("no scenario-backed experiment named %r" % name)
+
+
+def _run_fig61(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
+    return _figure_artifact(
+        "fig6.1", experiment_results("fig6.1", fast, jobs, cache_dir)
+    )
 
 
 def _run_fig62(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
-    nodes = 60 if fast else 150
-    result = figures.fig62(
-        total_nodes=nodes,
-        include_uts_reference=not fast,
-        jobs=jobs,
-        cache_dir=cache_dir,
+    return _figure_artifact(
+        "fig6.2", experiment_results("fig6.2", fast, jobs, cache_dir)
     )
-    return _figure_artifact("fig6.2", result)
 
 
 def _run_fig63(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
-    tbs = 2 if fast else 4
-    result = figures.fig63(num_tbs=tbs, jobs=jobs, cache_dir=cache_dir)
-    return _figure_artifact("fig6.3", result)
+    return _figure_artifact(
+        "fig6.3", experiment_results("fig6.3", fast, jobs, cache_dir)
+    )
 
 
 def _run_fig64(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
-    sizes = (32, 256) if fast else (32, 64, 128, 256)
-    tbs = 2 if fast else 4
-    sweep = figures.fig64(
-        mshr_sizes=sizes, num_tbs=tbs, jobs=jobs, cache_dir=cache_dir
-    )
+    sweep = experiment_results("fig6.4", fast, jobs, cache_dir)
+    sizes = sorted(sweep)
     text = "\n\n".join(sweep[size].render() for size in sizes)
     data = {str(size): sweep[size].to_dict() for size in sizes}
     csv_lines = ["experiment,config,category,cycles"]
@@ -93,18 +130,13 @@ def _run_table51(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
 
 
 def _run_hierarchy(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
-    nodes = 60 if fast else 150
-    result = figures.fig_hierarchy(
-        total_nodes=nodes, jobs=jobs, cache_dir=cache_dir
+    return _figure_artifact(
+        "hierarchy", experiment_results("hierarchy", fast, jobs, cache_dir)
     )
-    return _figure_artifact("hierarchy", result)
 
 
 def _run_campaign(fast: bool, jobs: int, cache_dir: str | None) -> Artifact:
-    from repro.experiments import campaign
-
-    spec = campaign.default_campaign(fast)
-    result = campaign.run_campaign(spec, jobs=jobs, cache_dir=cache_dir)
+    result = experiment_results("campaign", fast, jobs, cache_dir)
     return Artifact("campaign", result.render(), result.to_dict(), result.to_csv())
 
 

@@ -123,9 +123,16 @@ class TestCampaignSection:
     def test_missing_section_skips_cleanly(self, tmp_path, capsys):
         rc = self.run(tmp_path, fresh_cpm=None, committed_cpm=1000.0)
         assert rc == 0
-        assert "campaign_cells: absent on one side" in capsys.readouterr().out
+        assert (
+            "campaign_cells: section missing from fresh artifact(s); skipped"
+            in capsys.readouterr().out
+        )
         rc = self.run(tmp_path, fresh_cpm=900.0, committed_cpm=None)
         assert rc == 0
+        assert (
+            "campaign_cells: section missing from committed artifact(s)"
+            in capsys.readouterr().out
+        )
 
     def test_campaign_alone_satisfies_overlap(self, tmp_path, capsys):
         """A bench session that only ran the campaign benchmark still
