@@ -353,6 +353,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "against")
     bench.add_argument("--update", action="store_true",
                        help="merge the fresh rows into the artifact")
+    bench.add_argument("--rounds", type=int, default=1, metavar="N",
+                       help="measure each group N times and keep, per "
+                            "scenario, the round with the best cycles/sec "
+                            "(the simulation is deterministic, so the "
+                            "spread is pure host jitter; use 3+ before "
+                            "--update so a transient stall never becomes "
+                            "the committed baseline; default: 1)")
+    bench.add_argument("--max-drift", type=float, default=2.0,
+                       metavar="FACTOR", dest="max_drift",
+                       help="with --update: refuse to write rows whose "
+                            "cycles/sec deviates from the committed row by "
+                            "more than FACTOR in either direction -- such "
+                            "outliers are usually one-off host stalls, and "
+                            "committing one corrupts the perf-gate "
+                            "baseline (0 disables; default: 2.0)")
+    bench.add_argument("--force", action="store_true",
+                       help="with --update: write rows beyond --max-drift "
+                            "anyway (a real engine change, not a stall)")
 
     run = sub.add_parser("run", help="run one workload and print the breakdown")
     _add_sim_options(run)
@@ -780,6 +798,13 @@ def cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.rounds < 1:
+        print("error: --rounds must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_drift and args.max_drift < 1:
+        print("error: --max-drift must be 0 (disabled) or >= 1",
+              file=sys.stderr)
+        return 2
     if args.core != "auto":
         # Core selection is normally import-time (REPRO_CORE); pin both
         # the module global (this process) and the environment (executor
@@ -788,8 +813,15 @@ def cmd_bench(args) -> int:
         fastcore.DEFAULT_CORE = args.core
     core = fastcore.DEFAULT_CORE
     section = "scenarios_fast" if core == "fast" else "scenarios"
-    print("bench: measuring %s under the %s core" % (", ".join(groups), core))
-    rows = bench.measure(groups)
+    print(
+        "bench: measuring %s under the %s core%s"
+        % (
+            ", ".join(groups),
+            core,
+            " (best of %d rounds)" % args.rounds if args.rounds > 1 else "",
+        )
+    )
+    rows = bench.measure(groups, rounds=args.rounds)
     if args.keys:
         rows = [
             r
@@ -818,6 +850,41 @@ def cmd_bench(args) -> int:
             "  %-45s %10.1f cyc/s  %s" % (r["scenario"], r["cycles_per_sec"], delta)
         )
     if args.update:
+        # Drift guard: a fresh row far outside the committed value is far
+        # more likely a transient host stall (or a mis-configured run)
+        # than a real engine change, and writing it would corrupt the
+        # perf-gate baseline -- a genuine future regression on that row
+        # would then pass CI.  Refuse unless --force.
+        drifted = []
+        if args.max_drift:
+            for r in rows:
+                base = committed.get(r["key"])
+                if not (base and base.get("cycles_per_sec")
+                        and r.get("cycles_per_sec")):
+                    continue
+                ratio = r["cycles_per_sec"] / base["cycles_per_sec"]
+                if not (1.0 / args.max_drift <= ratio <= args.max_drift):
+                    drifted.append((r, base, ratio))
+        if drifted and not args.force:
+            print(
+                "error: %d row(s) drift beyond %.1fx of the committed "
+                "value; not updating %s"
+                % (len(drifted), args.max_drift, args.artifact),
+                file=sys.stderr,
+            )
+            for r, base, ratio in drifted:
+                print(
+                    "  %-45s %10.1f vs committed %10.1f cyc/s (%5.2fx)"
+                    % (r["scenario"], r["cycles_per_sec"],
+                       base["cycles_per_sec"], ratio),
+                    file=sys.stderr,
+                )
+            print(
+                "  transient stall? re-measure with --rounds 3; real "
+                "engine change? re-run with --force",
+                file=sys.stderr,
+            )
+            return 1
         bench.merge_rows(args.artifact, section, rows)
         print("updated %s section of %s" % (section, args.artifact))
     return 0
